@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure from the paper's §6 and
+prints a paper-vs-measured comparison. Simulated results are deterministic;
+pytest-benchmark's timings measure harness wall-time, not the reproduced
+quantities (those are simulated-clock measurements printed by each test).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report so it survives pytest's capture (shown with -s or
+    on failure), and also append it to bench_report.txt."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        with open("bench_report.txt", "a") as sink:
+            sink.write(text + "\n\n")
+
+    return _show

@@ -1,0 +1,29 @@
+"""§6 (text): "Performance results for the restart operation are similar
+to the results of Figures 5(a) and 5(b)" — the figure the paper omitted.
+"""
+
+from repro.bench.fig5 import run_fig5
+from repro.bench.harness import paper_vs_measured, render_table
+
+
+def test_restart_latency(benchmark, show):
+    points = benchmark.pedantic(
+        lambda: run_fig5(node_counts=(2, 4, 6, 8), rounds=3),
+        rounds=1, iterations=1)
+    rows = [[p.n_nodes, f"{p.restart_latency.mean:.3f} s",
+             f"{p.latency.mean:.3f} s"] for p in points]
+    show(render_table(
+        "Restart latency vs checkpoint latency (slm)",
+        ["nodes", "restart", "checkpoint"], rows))
+    ratios = [p.restart_latency.mean / p.latency.mean for p in points]
+    show(paper_vs_measured("Restart shape", [
+        ("restart similar to checkpoint", "similar (stated)",
+         f"ratio {min(ratios):.2f}-{max(ratios):.2f}",
+         all(0.3 < r < 3.0 for r in ratios)),
+        ("restart flat across nodes", "flat",
+         f"{points[0].restart_latency.mean:.2f}-"
+         f"{points[-1].restart_latency.mean:.2f} s",
+         max(p.restart_latency.mean for p in points) <
+         1.3 * min(p.restart_latency.mean for p in points)),
+    ]))
+    assert all(0.3 < r < 3.0 for r in ratios)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Resource management via suspend/resume (the §1 utility-computing case).
+
+A distributed PageRank job is suspended mid-run — its checkpoint goes to
+the shared filesystem and every process, socket and pod disappears,
+freeing the machines for other work. Minutes later it resumes on the same
+cluster and finishes with a result **bit-identical** to an uninterrupted
+run: no library hooks, no recomputation, no drift.
+
+Run:  python examples/pagerank_suspend_resume.py
+"""
+
+import numpy as np
+
+from repro.apps.pagerank import pagerank_factory, reference_pagerank
+from repro.cruz.cluster import CruzCluster
+from repro.lsf import JobScheduler, JobSpec, JobState
+
+VERTICES, RANKS, ITERATIONS = 60, 3, 40
+
+
+def main():
+    cluster = CruzCluster(n_app_nodes=3)
+    scheduler = JobScheduler(cluster)
+    job = scheduler.submit(JobSpec(
+        name="pagerank",
+        factory=pagerank_factory(RANKS, n_vertices=VERTICES,
+                                 iterations=ITERATIONS,
+                                 work_s_per_iter=0.05),
+        n_ranks=RANKS))
+    cluster.run_for(0.8)
+    progress = [r.iteration for r in cluster.app_programs(job.app)]
+    print(f"t={cluster.sim.now:.1f}s  iteration progress per rank: "
+          f"{progress} / {ITERATIONS}")
+
+    print("suspending the job (cluster needed for something else)...")
+    scheduler.suspend_job("pagerank")
+    assert all(not agent.pods for agent in cluster.agents)
+    print(f"t={cluster.sim.now:.1f}s  all pods gone; images stored as "
+          f"v{cluster.store.latest_version('pagerank-r0')}")
+
+    cluster.run_for(120.0)  # the cluster does other things for 2 minutes
+    print(f"t={cluster.sim.now:.1f}s  resuming...")
+    scheduler.resume_job("pagerank")
+    scheduler.wait_for("pagerank")
+    assert job.state == JobState.FINISHED
+
+    results = [r.result for r in cluster.app_programs(job.app)]
+    expected = reference_pagerank(VERTICES, RANKS, ITERATIONS)
+    for result in results:
+        np.testing.assert_array_equal(result, expected)
+    print(f"t={cluster.sim.now:.1f}s  job finished after suspension; "
+          f"result bit-identical to an uninterrupted run "
+          f"(top vertex: {int(np.argmax(expected))}, "
+          f"rank {expected.max():.5f})")
+
+
+if __name__ == "__main__":
+    main()

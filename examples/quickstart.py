@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: checkpoint and restart a live TCP service, transparently.
+
+Builds a three-node simulated cluster, runs a key-value server inside a
+Cruz pod, drives it from an *unmodified* client on another machine, and
+live-migrates the server mid-conversation. The client never notices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.kvserver import KvClient, KvServer
+from repro.cruz.cluster import CruzCluster
+
+
+def main():
+    # Node 0 and 1 host applications; node 2 hosts the coordinator.
+    cluster = CruzCluster(n_app_nodes=2)
+
+    # A pod is Zap's migratable container: its own IP, MAC, PIDs.
+    pod = cluster.create_pod(node_index=0, name="kv")
+    pod.spawn(KvServer())
+    print(f"kv server in pod {pod.name!r} at {pod.ip} on {pod.node.name}")
+
+    # A plain client outside any pod, on the coordinator node.
+    requests = [{"op": "put", "key": f"k{i}", "value": i} for i in range(50)]
+    requests += [{"op": "get", "key": f"k{i}"} for i in range(50)]
+    client = cluster.coordinator_node.spawn(
+        KvClient(str(pod.ip), requests, think_time_s=0.01))
+
+    # Let the conversation get going...
+    cluster.run_for(0.2)
+    print(f"t={cluster.sim.now:.2f}s  client completed "
+          f"{client.program.index}/{len(requests)} requests")
+
+    # ...then move the server to another machine, mid-stream.
+    print("live-migrating the pod to node1 "
+          "(checkpoint -> kill -> restart)...")
+    new_pod = cluster.migrate_pod(pod, target_node_index=1)
+    print(f"t={cluster.sim.now:.2f}s  pod now on {new_pod.node.name}, "
+          f"same address {new_pod.ip}")
+
+    # The client finishes against the migrated server.
+    cluster.run_until(lambda: not client.is_alive, limit=120, step=0.1)
+    responses = client.program.responses
+    assert client.exit_code == 0
+    assert all(r["ok"] for r in responses)
+    assert [r["value"] for r in responses[50:]] == list(range(50))
+    print(f"t={cluster.sim.now:.2f}s  client finished: "
+          f"{len(responses)} responses, all correct — migration was "
+          f"invisible")
+
+
+if __name__ == "__main__":
+    main()

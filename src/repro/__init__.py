@@ -1,0 +1,74 @@
+"""Cruz: application-transparent distributed checkpoint-restart.
+
+A full reproduction of Janakiraman, Santos, Subhraveti & Turner,
+"Cruz: Application-Transparent Distributed Checkpoint-Restart on Standard
+Operating Systems" (DSN 2005), built on a deterministic simulated cluster
+(see DESIGN.md for the substitution rationale).
+
+Quick tour::
+
+    from repro import CruzCluster
+    from repro.apps import KvServer, KvClient
+
+    cluster = CruzCluster(n_app_nodes=2)
+    pod = cluster.create_pod(0, "svc")
+    pod.spawn(KvServer())
+    client = cluster.coordinator_node.spawn(
+        KvClient(str(pod.ip), [{"op": "put", "key": "a", "value": 1}]))
+    cluster.run_for(0.2)
+    cluster.migrate_pod(pod, target_node_index=1)   # client never notices
+
+Layering (bottom-up): :mod:`repro.sim` (event kernel), :mod:`repro.net`
+(Ethernet/ARP/DHCP), :mod:`repro.tcp` (sequence-accurate TCP),
+:mod:`repro.simos` (per-node OS), :mod:`repro.zap` (pods + virtualisation +
+pod CR), :mod:`repro.cruz` (the paper's contribution), with
+:mod:`repro.baselines`, :mod:`repro.mpi`, :mod:`repro.lsf`,
+:mod:`repro.apps` and :mod:`repro.bench` alongside.
+"""
+
+from repro.cluster import Cluster
+from repro.cruz.agent import CheckpointAgent
+from repro.cruz.cluster import CruzCluster
+from repro.cruz.coordinator import CheckpointCoordinator, DistributedApp
+from repro.cruz.storage import ImageStore
+from repro.errors import (
+    CheckpointError,
+    CoordinationError,
+    NetworkError,
+    PodError,
+    ReproError,
+    SimulationError,
+    SyscallError,
+    TcpError,
+)
+from repro.lsf import JobScheduler, JobSpec, JobState
+from repro.simos.program import PhasedProgram, Program
+from repro.simos.syscalls import Exit, sys
+from repro.zap.pod import Pod
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointAgent",
+    "CheckpointCoordinator",
+    "CheckpointError",
+    "Cluster",
+    "CoordinationError",
+    "CruzCluster",
+    "DistributedApp",
+    "Exit",
+    "ImageStore",
+    "JobScheduler",
+    "JobSpec",
+    "JobState",
+    "NetworkError",
+    "PhasedProgram",
+    "Pod",
+    "PodError",
+    "Program",
+    "ReproError",
+    "SimulationError",
+    "SyscallError",
+    "TcpError",
+    "sys",
+]

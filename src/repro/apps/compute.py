@@ -1,0 +1,67 @@
+"""A compute-bound, communication-free workload.
+
+Used by the Fig. 4 benchmark: with no inter-rank communication, the
+early-resume optimisation's benefit (fast-saving nodes resume without
+waiting for the slowest) is directly visible as reduced per-pod pause time.
+"""
+
+from __future__ import annotations
+
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, sys
+
+
+class ComputeBound(PhasedProgram):
+    """Run ``iterations`` chunks of ``work_s`` CPU seconds each."""
+
+    name = "compute-bound"
+    initial_phase = "setup"
+
+    def __init__(self, iterations: int, work_s: float = 0.01,
+                 state_bytes: int = 0, touch_fraction: float = 1.0):
+        super().__init__()
+        self.iterations = iterations
+        self.work_s = work_s
+        self.state_bytes = state_bytes
+        self.touch_fraction = touch_fraction
+        self.done = 0
+
+    def phase_setup(self, result):
+        self.goto("work")
+        if self.state_bytes:
+            return sys("mmap", "state", self.state_bytes)
+        return sys("gettime")
+
+    def phase_work(self, result):
+        if self.done >= self.iterations:
+            return Exit(0)
+        self.done += 1
+        self.goto("touch")
+        return sys("compute", self.work_s)
+
+    def phase_touch(self, result):
+        self.goto("work")
+        if self.state_bytes:
+            return sys("mtouch", "state", fraction=self.touch_fraction)
+        return sys("gettime")
+
+
+def compute_factory(iterations: int, work_s: float = 0.01,
+                    state_mb_per_rank=None, touch_fraction: float = 1.0):
+    """Factory for launch_app_factory; ``state_mb_per_rank`` may be a list
+    giving each rank a different checkpointable state size.
+    ``touch_fraction`` controls how much of the state each iteration
+    dirties (drives incremental-checkpoint behaviour)."""
+
+    def make(rank: int, _peer_ips):
+        if state_mb_per_rank is None:
+            state_bytes = 0
+        elif isinstance(state_mb_per_rank, (list, tuple)):
+            state_bytes = int(state_mb_per_rank[rank] * (1 << 20))
+        else:
+            state_bytes = int(state_mb_per_rank * (1 << 20))
+        return ComputeBound(iterations=iterations, work_s=work_s,
+                            state_bytes=state_bytes,
+                            touch_fraction=touch_fraction)
+
+    return make

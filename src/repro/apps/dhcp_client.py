@@ -1,0 +1,110 @@
+"""A DHCP client, run *inside* a pod.
+
+The §4.2 scenario: "a pod's VIF can be assigned ... a dynamic IP address
+if a DHCP client process running in the pod queries a DHCP server on the
+network." The client asks the kernel for its hardware address via
+``ioctl(SIOCGIFHWADDR)`` — which Zap intercepts to return the pod's *fake*
+MAC — and embeds that address in the request payload, so the server's
+lease binding survives migration to hardware with a different real MAC.
+"""
+
+from __future__ import annotations
+
+from repro.net.dhcp import (
+    ACK,
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    DISCOVER,
+    DhcpMessage,
+    OFFER,
+    REQUEST,
+)
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, SIOCGIFHWADDR, sys
+
+BROADCAST = "255.255.255.255"
+
+
+class DhcpClient(PhasedProgram):
+    """DISCOVER/OFFER/REQUEST/ACK, then optional periodic renewal."""
+
+    name = "dhcp-client"
+    initial_phase = "ask_mac"
+
+    def __init__(self, renew_every_s: float = 0.0, renewals: int = 0):
+        super().__init__()
+        self.renew_every_s = renew_every_s
+        self.renewals_wanted = renewals
+        self.renewals_done = 0
+        self.chaddr = None
+        self.leased_ip = None
+        self.lease_history = []
+        self.fd = None
+        self.xid = 1
+
+    def phase_ask_mac(self, result):
+        self.goto("socket")
+        return sys("ioctl", SIOCGIFHWADDR, "eth0")
+
+    def phase_socket(self, result):
+        self.chaddr = result  # the (fake) MAC Zap reports
+        self.goto("bind")
+        return sys("socket", "udp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("discover")
+        return sys("bind", self.fd, None, DHCP_CLIENT_PORT)
+
+    def phase_discover(self, result):
+        self.xid += 1
+        self.goto("offer")
+        return sys("sendto", self.fd,
+                   DhcpMessage(kind=DISCOVER, xid=self.xid,
+                               chaddr=self.chaddr),
+                   BROADCAST, DHCP_SERVER_PORT, size=300)
+
+    def phase_offer(self, result):
+        if isinstance(result, tuple):
+            message = result[0]
+            # Replies are broadcast: accept only ours (chaddr + xid).
+            if getattr(message, "kind", None) == OFFER \
+                    and message.chaddr == self.chaddr \
+                    and message.xid == self.xid:
+                self.goto("ack")
+                return sys("sendto", self.fd,
+                           DhcpMessage(kind=REQUEST, xid=self.xid,
+                                       chaddr=self.chaddr,
+                                       requested_ip=message.yiaddr),
+                           BROADCAST, DHCP_SERVER_PORT, size=300)
+        return sys("recvfrom", self.fd)
+
+    def phase_ack(self, result):
+        if isinstance(result, tuple):
+            message = result[0]
+            if getattr(message, "kind", None) == ACK \
+                    and message.chaddr == self.chaddr \
+                    and message.xid == self.xid:
+                self.leased_ip = message.yiaddr
+                self.lease_history.append(message.yiaddr)
+                return self._after_lease()
+        return sys("recvfrom", self.fd)
+
+    def _after_lease(self):
+        if self.renewals_done >= self.renewals_wanted:
+            return Exit(0)
+        self.goto("renew_sleep")
+        return sys("sleep", self.renew_every_s)
+
+    def phase_renew_sleep(self, result):
+        self.renewals_done += 1
+        # Renew: REQUEST the same address under the same chaddr. After a
+        # migration the wire MAC may differ, but the chaddr (fake MAC)
+        # does not — so the server renews the same lease.
+        self.xid += 1
+        self.goto("ack")
+        return sys("sendto", self.fd,
+                   DhcpMessage(kind=REQUEST, xid=self.xid,
+                               chaddr=self.chaddr,
+                               requested_ip=self.leased_ip),
+                   BROADCAST, DHCP_SERVER_PORT, size=300)

@@ -1,0 +1,294 @@
+"""A key-value server and client.
+
+The "database-style" workload: a stateful TCP server inside a pod serving
+a client that is *outside* any pod (e.g. a customer on another machine).
+Migrating the server must be invisible to that client — the paper's
+motivating maintenance/migration scenario (§1).
+
+Wire protocol: newline-free, length-prefixed pickled request/response
+dicts, e.g. ``{"op": "put", "key": k, "value": v}`` →
+``{"ok": True, "value": ...}``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, sys
+
+KV_PORT = 9900
+LENGTH_FORMAT = ">I"
+LENGTH_BYTES = struct.calcsize(LENGTH_FORMAT)
+
+
+def encode(obj) -> bytes:
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return struct.pack(LENGTH_FORMAT, len(blob)) + blob
+
+
+def try_decode(buffer: bytes) -> Tuple[Optional[object], bytes]:
+    if len(buffer) < LENGTH_BYTES:
+        return None, buffer
+    length = struct.unpack(LENGTH_FORMAT, buffer[:LENGTH_BYTES])[0]
+    if len(buffer) < LENGTH_BYTES + length:
+        return None, buffer
+    obj = pickle.loads(buffer[LENGTH_BYTES:LENGTH_BYTES + length])
+    return obj, buffer[LENGTH_BYTES + length:]
+
+
+class KvServer(PhasedProgram):
+    """Single-connection key-value store."""
+
+    name = "kv-server"
+    initial_phase = "socket"
+
+    def __init__(self, port: int = KV_PORT):
+        super().__init__()
+        self.port = port
+        self.store: Dict[str, object] = {}
+        self.requests_served = 0
+        self.rx = b""
+        self.tx = b""
+        self.fd = None
+        self.conn_fd = None
+
+    def phase_socket(self, result):
+        self.goto("bind")
+        return sys("socket", "tcp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("listen")
+        return sys("bind", self.fd, None, self.port)
+
+    def phase_listen(self, result):
+        self.goto("accept")
+        return sys("listen", self.fd, 4)
+
+    def phase_accept(self, result):
+        self.goto("serve")
+        return sys("accept", self.fd)
+
+    def phase_serve(self, result):
+        if isinstance(result, tuple):
+            self.conn_fd = result[0]
+            return sys("recv", self.conn_fd, 65536)
+        if result == b"":
+            # Client went away; keep serving (the store persists).
+            self.rx = b""
+            self.tx = b""
+            self.goto("reaccept")
+            return sys("close", self.conn_fd)
+        self.rx += result
+        request, self.rx = try_decode(self.rx)
+        while request is not None:
+            self.tx += encode(self._apply(request))
+            request, self.rx = try_decode(self.rx)
+        if self.tx:
+            self.goto("reply")
+            return sys("send", self.conn_fd, self.tx)
+        return sys("recv", self.conn_fd, 65536)
+
+    def phase_reaccept(self, result):
+        self.goto("serve")
+        return sys("accept", self.fd)
+
+    def phase_reply(self, result):
+        self.tx = self.tx[result:]
+        if self.tx:
+            return sys("send", self.conn_fd, self.tx)
+        self.goto("serve")
+        return sys("recv", self.conn_fd, 65536)
+
+    def phase_finish(self, result):
+        return Exit(0)
+
+    def _apply(self, request: dict) -> dict:
+        self.requests_served += 1
+        op = request.get("op")
+        if op == "put":
+            self.store[request["key"]] = request["value"]
+            return {"ok": True}
+        if op == "get":
+            key = request["key"]
+            return {"ok": key in self.store,
+                    "value": self.store.get(key)}
+        if op == "delete":
+            return {"ok": self.store.pop(request["key"], None)
+                    is not None}
+        if op == "count":
+            return {"ok": True, "value": len(self.store)}
+        return {"ok": False, "error": f"bad op {op!r}"}
+
+
+class KvServerMulti(PhasedProgram):
+    """An event-driven key-value server: many concurrent clients, one
+    process, ``poll``-based — the architecture of a real network daemon.
+
+    Being checkpointable requires nothing special: the poll loop is just
+    another restartable syscall, and every connection's parse state lives
+    in instance attributes.
+    """
+
+    name = "kv-server-multi"
+    initial_phase = "socket"
+
+    def __init__(self, port: int = KV_PORT):
+        super().__init__()
+        self.port = port
+        self.store: Dict[str, object] = {}
+        self.requests_served = 0
+        self.clients_accepted = 0
+        self.fd = None
+        #: fd -> per-connection receive parse buffer.
+        self.rx: Dict[int, bytes] = {}
+        self.ready: List[int] = []
+        self.current_fd = None
+        self.tx = b""
+
+    def phase_socket(self, result):
+        self.goto("bind")
+        return sys("socket", "tcp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("listen")
+        return sys("bind", self.fd, None, self.port)
+
+    def phase_listen(self, result):
+        self.goto("poll")
+        return sys("listen", self.fd, 16)
+
+    def phase_poll(self, result):
+        self.goto("dispatch")
+        return sys("poll", [self.fd] + sorted(self.rx))
+
+    def phase_dispatch(self, result):
+        if isinstance(result, list):
+            self.ready = result
+        if not self.ready:
+            self.goto("poll")
+            return self.phase_poll(None)
+        fd = self.ready.pop(0)
+        if fd == self.fd:
+            self.goto("accepted")
+            return sys("accept", self.fd)
+        self.current_fd = fd
+        self.goto("received")
+        from repro.simos.syscalls import MSG_DONTWAIT
+        return sys("recv", fd, 65536, flags=MSG_DONTWAIT)
+
+    def phase_accepted(self, result):
+        conn_fd = result[0]
+        self.rx[conn_fd] = b""
+        self.clients_accepted += 1
+        self.goto("dispatch")
+        return self.phase_dispatch(None)
+
+    def phase_received(self, result):
+        fd = self.current_fd
+        from repro.errors import SyscallError
+        if isinstance(result, SyscallError) or result is None:
+            self.goto("dispatch")
+            return self.phase_dispatch(None)
+        if result == b"":
+            del self.rx[fd]
+            self.goto("dispatch")
+            return sys("close", fd)
+        self.rx[fd] += result
+        self.tx = b""
+        request, self.rx[fd] = try_decode(self.rx[fd])
+        while request is not None:
+            self.tx += encode(self._apply(request))
+            request, self.rx[fd] = try_decode(self.rx[fd])
+        if self.tx:
+            self.goto("replied")
+            return sys("send", fd, self.tx)
+        self.goto("dispatch")
+        return self.phase_dispatch(None)
+
+    def phase_replied(self, result):
+        fd = self.current_fd
+        self.tx = self.tx[result:]
+        if self.tx:
+            return sys("send", fd, self.tx)
+        self.goto("dispatch")
+        return self.phase_dispatch(None)
+
+    # Shared with KvServer.
+    _apply = None  # replaced below
+
+
+KvServerMulti._apply = KvServer._apply
+
+
+class KvClient(PhasedProgram):
+    """Issues a scripted list of requests, one at a time."""
+
+    name = "kv-client"
+    initial_phase = "socket"
+
+    def __init__(self, server_ip: str, requests: List[dict],
+                 port: int = KV_PORT, think_time_s: float = 0.0):
+        super().__init__()
+        self.server_ip = server_ip
+        self.port = port
+        self.requests = list(requests)
+        self.think_time_s = think_time_s
+        self.responses: List[dict] = []
+        self.rx = b""
+        self.unsent = b""
+        self.fd = None
+        self.index = 0
+
+    def phase_socket(self, result):
+        self.goto("connect")
+        return sys("socket", "tcp")
+
+    def phase_connect(self, result):
+        self.fd = result
+        self.goto("next_request")
+        return sys("connect", self.fd, self.server_ip, self.port)
+
+    def phase_next_request(self, result):
+        from repro.errors import SyscallError
+        if isinstance(result, SyscallError):
+            return Exit(2)  # connection refused / reset
+        if self.index >= len(self.requests):
+            self.goto("finish")
+            return sys("close", self.fd)
+        self.unsent = encode(self.requests[self.index])
+        self.goto("sending")
+        return sys("send", self.fd, self.unsent)
+
+    def phase_sending(self, result):
+        self.unsent = self.unsent[result:]
+        if self.unsent:
+            return sys("send", self.fd, self.unsent)
+        self.goto("awaiting")
+        return sys("recv", self.fd, 65536)
+
+    def phase_awaiting(self, result):
+        if result == b"":
+            return Exit(1)
+        self.rx += result
+        response, self.rx = try_decode(self.rx)
+        if response is None:
+            return sys("recv", self.fd, 65536)
+        self.responses.append(response)
+        self.index += 1
+        if self.think_time_s:
+            self.goto("thinking")
+            return sys("sleep", self.think_time_s)
+        self.goto("next_request")
+        return self.phase_next_request(None)
+
+    def phase_thinking(self, result):
+        self.goto("next_request")
+        return self.phase_next_request(None)
+
+    def phase_finish(self, result):
+        return Exit(0)

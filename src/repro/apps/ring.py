@@ -1,0 +1,171 @@
+"""A token-ring workload: N ranks pass an incrementing token over TCP.
+
+The strictest possible correctness probe for coordinated checkpoint-restart:
+every rank records every token it forwards, so *any* lost, duplicated or
+reordered byte anywhere in the system shows up as a broken arithmetic
+progression. The app is completely CR-oblivious — plain sockets, no
+library hooks — which is the paper's transparency claim.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, sys
+
+TOKEN_FORMAT = ">Q"
+TOKEN_BYTES = struct.calcsize(TOKEN_FORMAT)
+
+
+class RingWorker(PhasedProgram):
+    """Rank ``rank`` of an ``n_ranks`` token ring.
+
+    Each rank listens on ``port``, connects to ``(rank + 1) % n`` and
+    forwards tokens until the token value reaches ``max_token``. Rank 0
+    injects token 0. ``padding`` bytes ride along with each token to put
+    real pressure on socket buffers.
+    """
+
+    name = "ring-worker"
+    initial_phase = "socket_listen"
+
+    def __init__(self, rank: int, peer_ips: List[str], port: int,
+                 max_token: int, padding: int = 0,
+                 work_per_hop_s: float = 0.0):
+        super().__init__()
+        self.rank = rank
+        self.peer_ips = list(peer_ips)
+        self.port = port
+        self.max_token = max_token
+        self.padding = padding
+        self.work_per_hop_s = work_per_hop_s
+        self.record_bytes = TOKEN_BYTES + padding
+        self.n_ranks = len(peer_ips)
+        self.next_ip = peer_ips[(rank + 1) % self.n_ranks]
+        self.seen: List[int] = []
+        self.listen_fd: Optional[int] = None
+        self.out_fd: Optional[int] = None
+        self.in_fd: Optional[int] = None
+        self.rx = b""
+        self.unsent = b""
+        self.finished = False
+
+    # -- setup: listen, connect to successor, accept predecessor ----------
+
+    def phase_socket_listen(self, result):
+        self.goto("bind")
+        return sys("socket", "tcp")
+
+    def phase_bind(self, result):
+        self.listen_fd = result
+        self.goto("listen")
+        return sys("bind", self.listen_fd, None, self.port)
+
+    def phase_listen(self, result):
+        self.goto("socket_out")
+        return sys("listen", self.listen_fd, 4)
+
+    def phase_socket_out(self, result):
+        self.goto("connect")
+        return sys("socket", "tcp")
+
+    def phase_connect(self, result):
+        self.out_fd = result
+        self.goto("nodelay")
+        return sys("connect", self.out_fd, self.next_ip, self.port)
+
+    def phase_nodelay(self, result):
+        # Token passing is request-response: Nagle + delayed ACK would
+        # add ~40 ms per hop, so disable it like any latency-bound app.
+        self.goto("accept")
+        return sys("setsockopt", self.out_fd, "TCP_NODELAY", True)
+
+    def phase_accept(self, result):
+        self.goto("start")
+        return sys("accept", self.listen_fd)
+
+    def phase_start(self, result):
+        self.in_fd = result[0]
+        if self.rank == 0:
+            self._queue_token(0)
+            self.goto("drain_send")
+            return self.phase_drain_send(None)
+        self.goto("receive")
+        return sys("recv", self.in_fd, 65536)
+
+    # -- steady state ------------------------------------------------------
+
+    def _queue_token(self, token: int) -> None:
+        self.seen.append(token)
+        self.unsent = struct.pack(TOKEN_FORMAT, token) + \
+            b"\x00" * self.padding
+
+    def phase_receive(self, result):
+        if result == b"":
+            # Predecessor closed: ring is shutting down.
+            self.goto("finish")
+            return sys("close", self.in_fd)
+        self.rx += result
+        if len(self.rx) < self.record_bytes:
+            return sys("recv", self.in_fd, 65536)
+        record = self.rx[:self.record_bytes]
+        self.rx = self.rx[self.record_bytes:]
+        token = struct.unpack(TOKEN_FORMAT, record[:TOKEN_BYTES])[0]
+        if token >= self.max_token:
+            # The terminal token was already recorded by the rank that
+            # queued it; don't record it twice.
+            self.finished = True
+            self.goto("finish")
+            return sys("close", self.out_fd)
+        self._queue_token(token + 1)
+        if self.work_per_hop_s > 0:
+            self.goto("work")
+            return sys("compute", self.work_per_hop_s)
+        self.goto("drain_send")
+        return self.phase_drain_send(None)
+
+    def phase_work(self, result):
+        self.goto("drain_send")
+        return self.phase_drain_send(None)
+
+    def phase_drain_send(self, result):
+        if isinstance(result, int):
+            self.unsent = self.unsent[result:]
+        if self.unsent:
+            return sys("send", self.out_fd, self.unsent)
+        self.goto("receive")
+        return sys("recv", self.in_fd, 65536)
+
+    def phase_finish(self, result):
+        return Exit(0)
+
+
+def ring_factory(n_ranks: int, port: int = 9500, max_token: int = 1000,
+                 padding: int = 0, work_per_hop_s: float = 0.0):
+    """A factory for :meth:`CruzCluster.launch_app_factory`."""
+
+    def make(rank: int, peer_ips: List[str]) -> RingWorker:
+        return RingWorker(rank=rank, peer_ips=peer_ips, port=port,
+                          max_token=max_token, padding=padding,
+                          work_per_hop_s=work_per_hop_s)
+
+    return make
+
+
+def validate_ring(workers: List[RingWorker]) -> None:
+    """Assert the global exactly-once, in-order token invariant."""
+    n = len(workers)
+    all_tokens = []
+    for worker in workers:
+        tokens = worker.seen
+        # Each rank's tokens form an arithmetic progression of stride n.
+        for first, second in zip(tokens, tokens[1:]):
+            if second - first != n and not (
+                    worker.finished and second == tokens[-1]):
+                raise AssertionError(
+                    f"rank {worker.rank}: token jump {first} -> {second}")
+        all_tokens.extend(tokens)
+    if len(set(all_tokens)) != len(all_tokens):
+        raise AssertionError("a token was seen twice (duplicate delivery)")

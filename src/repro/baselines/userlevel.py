@@ -1,0 +1,114 @@
+"""The user-level library checkpointing baseline (libckpt / Condor, §2).
+
+"User-level library-based implementations lack support for saving/restoring
+kernel state other than open files and they require application
+modifications or re-linking. Thus they work only for a narrow set of
+applications."
+
+This module makes that comparison executable: a checkpointer that handles
+exactly what those libraries handled — one process, its memory, and its
+open *files* — and refuses everything else (sockets, pipes, IPC,
+multi-process jobs). Restores get whatever PID the OS hands out, so
+PID-dependent applications break; there is no virtualisation layer to
+mask it (the gap Zap closes, §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import CheckpointError
+from repro.simos.files import Descriptor, Pipe, RegularFile
+from repro.simos.kernel import Node
+from repro.simos.process import ProcessControlBlock, SIGSTOP
+from repro.simos.sockets import TcpSocket, UdpSocket
+from repro.zap.image import freeze_object, thaw_object
+from repro.simos.memory import AddressSpace
+
+
+class UnsupportedResource(CheckpointError):
+    """The application uses something the library cannot checkpoint."""
+
+
+@dataclass
+class UserLevelImage:
+    """A single-process, files-only image."""
+
+    name: str
+    program_blob: bytes
+    memory: AddressSpace
+    files: List[dict] = field(default_factory=list)
+    resume_syscall: Optional[object] = None
+    original_pid: int = 0
+
+
+class UserLevelCheckpointer:
+    """Single-process checkpoint/restart with library-era limitations.
+
+    The library also assumes the application was re-linked against it;
+    ``requires_relink`` models that: programs must opt in by exposing
+    ``checkpointable_with_library = True`` (application modification —
+    precisely what Cruz avoids).
+    """
+
+    def __init__(self, requires_relink: bool = True):
+        self.requires_relink = requires_relink
+
+    def checkpoint_process(
+            self, proc: ProcessControlBlock) -> UserLevelImage:
+        if self.requires_relink and not getattr(
+                proc.program, "checkpointable_with_library", False):
+            raise UnsupportedResource(
+                f"{proc.name}: application not re-linked against the "
+                f"checkpoint library (set checkpointable_with_library)")
+        proc.signal(SIGSTOP)
+        files = []
+        for fd, descriptor in proc.fds.items():
+            obj = descriptor.obj
+            if isinstance(obj, RegularFile):
+                files.append({"fd": fd, "path": obj.path,
+                              "offset": obj.offset,
+                              "file_mode": obj.mode,
+                              "mode": descriptor.mode})
+            elif isinstance(obj, (TcpSocket, UdpSocket)):
+                raise UnsupportedResource(
+                    f"fd {fd}: network sockets are not checkpointable "
+                    f"at user level (the gap Cruz closes, §4.1)")
+            elif isinstance(obj, Pipe):
+                raise UnsupportedResource(
+                    f"fd {fd}: pipes are kernel state invisible to a "
+                    f"user-level library")
+            else:
+                raise UnsupportedResource(
+                    f"fd {fd}: unsupported resource {obj.kind!r}")
+        return UserLevelImage(
+            name=proc.name,
+            program_blob=freeze_object(proc.program),
+            memory=proc.memory.snapshot(),
+            files=files,
+            resume_syscall=proc.current_syscall,
+            original_pid=proc.pid)
+
+    def checkpoint_job(self, procs: List[ProcessControlBlock]):
+        if len(procs) != 1:
+            raise UnsupportedResource(
+                f"{len(procs)} processes: user-level libraries "
+                f"checkpoint a single process only")
+        return self.checkpoint_process(procs[0])
+
+    def restore_process(self, image: UserLevelImage,
+                        node: Node) -> ProcessControlBlock:
+        """Recreate the process. NOTE: the new PID is whatever the OS
+        assigns — applications that stored their PID are now wrong."""
+        program = thaw_object(image.program_blob)
+        proc = node.spawn(program, name=image.name,
+                          resume_syscall=image.resume_syscall)
+        proc.memory = image.memory.snapshot()
+        for entry in image.files:
+            regular = RegularFile(node.sim, node.fs, entry["path"],
+                                  entry["file_mode"])
+            regular.offset = entry["offset"]
+            proc.fds.install_at(entry["fd"],
+                                Descriptor(regular, entry["mode"]))
+        return proc

@@ -1,0 +1,41 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from repro.bench.fig5 import Fig5Point, fig5_shape_holds, run_fig5
+from repro.bench.fig6 import Fig6Result, fig6_shape_holds, run_fig6
+from repro.bench.harness import Stat, paper_vs_measured, render_table
+from repro.bench.messages import (
+    MessagePoint,
+    messages_shape_holds,
+    run_messages,
+)
+from repro.bench.optimization import (
+    OptimizationResult,
+    optimization_shape_holds,
+    run_optimization,
+)
+from repro.bench.overhead import (
+    OverheadResult,
+    overhead_shape_holds,
+    run_overhead,
+)
+
+__all__ = [
+    "Fig5Point",
+    "Fig6Result",
+    "MessagePoint",
+    "OptimizationResult",
+    "OverheadResult",
+    "Stat",
+    "fig5_shape_holds",
+    "fig6_shape_holds",
+    "messages_shape_holds",
+    "optimization_shape_holds",
+    "overhead_shape_holds",
+    "paper_vs_measured",
+    "render_table",
+    "run_fig5",
+    "run_fig6",
+    "run_messages",
+    "run_optimization",
+    "run_overhead",
+]

@@ -1,0 +1,121 @@
+"""Fig. 6 harness: TCP stream rate through a checkpoint.
+
+Paper setup (§6): a two-node maximum-rate TCP stream; a checkpoint starts
+at t = 0. Reported behaviour:
+
+* the receive rate drops to zero when communication is disabled;
+* the checkpoint completes after ≈ 120 ms;
+* a short pulse appears right after resume — the receiver drains data that
+  arrived before the checkpoint;
+* the sender stays quiet until TCP retransmission recovers from the
+  filter-dropped packets, ≈ 100 ms after the checkpoint completes, after
+  which the stream returns to its previous rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.apps.tcpstream import stream_factory
+from repro.cruz.cluster import CruzCluster
+
+
+@dataclass
+class Fig6Result:
+    """The rate timeline and derived landmark timings."""
+
+    #: (time_since_checkpoint_start_s, rate_bits_per_s) samples.
+    series: List[Tuple[float, float]] = field(default_factory=list)
+    pre_checkpoint_rate_bps: float = 0.0
+    checkpoint_duration_s: float = 0.0
+    #: First instant after the checkpoint started with zero delivery.
+    stall_start_s: float = 0.0
+    #: The post-resume receiver drain pulse (None if not observed).
+    pulse_time_s: float = -1.0
+    #: When the stream is back above half its original rate for good.
+    recovery_time_s: float = 0.0
+
+    @property
+    def outage_after_checkpoint_s(self) -> float:
+        """Quiet period between checkpoint completion and recovery."""
+        return self.recovery_time_s - self.checkpoint_duration_s
+
+
+def run_fig6(window_s: float = 0.010,
+             sample_step_s: float = 0.002,
+             warmup_s: float = 0.5,
+             follow_s: float = 1.0,
+             memory_mb: float = 8.0,
+             optimized: bool = False,
+             early_network: bool = False) -> Fig6Result:
+    """Run the streaming benchmark and checkpoint it mid-stream.
+
+    ``optimized``/``early_network`` select the §5.2 protocol variants so
+    their effect on the outage can be measured (the paper proposes
+    early re-enable precisely to shrink the TCP backoff window).
+    """
+    cluster = CruzCluster(2, trace_enabled=True)
+    app = cluster.launch_app_factory(
+        "stream", 2, stream_factory(total_bytes=1 << 62))
+    # Give the pods a little state so the checkpoint takes visible time.
+    for pod in app.pods:
+        pod.processes()[0].memory.allocate(
+            "state", int(memory_mb * (1 << 20)))
+    cluster.run_for(warmup_s)
+
+    t0 = cluster.sim.now
+    stats = cluster.checkpoint_app(app, optimized=optimized,
+                                   early_network=early_network)
+    cluster.run_for(follow_s)
+
+    receiver_node = app.pods[0].node.name
+    series = cluster.trace.sliding_rate(
+        "app", "nbytes", window=window_s,
+        t_start=t0 - 0.05, t_end=t0 + follow_s - 2 * window_s,
+        step=sample_step_s, node=receiver_node)
+    result = Fig6Result(
+        series=[(t - t0, rate * 8) for t, rate in series],
+        checkpoint_duration_s=stats.latency_s)
+
+    pre = [rate for t, rate in result.series if t < 0]
+    result.pre_checkpoint_rate_bps = max(pre) if pre else 0.0
+    threshold = result.pre_checkpoint_rate_bps / 2
+
+    for t, rate in result.series:
+        if t >= 0 and rate == 0.0:
+            result.stall_start_s = t
+            break
+    # The drain pulse: the first nonzero sample after checkpoint
+    # completion (the receiver consuming data that arrived before it).
+    for t, rate in result.series:
+        if t <= result.checkpoint_duration_s:
+            continue
+        if rate > 0 and result.pulse_time_s < 0:
+            result.pulse_time_s = t
+            break
+    # Recovery: the last time the rate crossed up through the threshold.
+    recovery = 0.0
+    for (t1, r1), (t2, r2) in zip(result.series, result.series[1:]):
+        if r1 < threshold <= r2 and t2 > result.checkpoint_duration_s:
+            recovery = t2
+    result.recovery_time_s = recovery
+    return result
+
+
+def fig6_shape_holds(result: Fig6Result) -> dict:
+    """The paper's qualitative Fig. 6 claims."""
+    return {
+        "rate_drops_to_zero": any(
+            rate == 0.0 for t, rate in result.series if t > 0),
+        "checkpoint_is_100ms_scale":
+            0.02 < result.checkpoint_duration_s < 0.5,
+        "drain_pulse_after_resume":
+            result.pulse_time_s >= result.checkpoint_duration_s,
+        "recovery_within_rto_scale":
+            0.0 < result.outage_after_checkpoint_s < 0.35,
+        "rate_restored": result.series and max(
+            rate for t, rate in result.series
+            if t > result.recovery_time_s) >
+            result.pre_checkpoint_rate_bps * 0.6,
+    }

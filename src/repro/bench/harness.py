@@ -1,0 +1,59 @@
+"""Shared benchmark utilities: result records and table rendering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Stat:
+    """Mean and standard deviation of a sample, paper-style (µ ± σ)."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Stat":
+        if not values:
+            return cls(float("nan"), float("nan"), 0)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(mean, math.sqrt(var), len(values))
+
+    def scaled(self, factor: float) -> "Stat":
+        return Stat(self.mean * factor, self.std * factor, self.n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.std:.2g}"
+
+
+def render_table(title: str, headers: List[str],
+                 rows: Iterable[Sequence], note: str = "") -> str:
+    """A fixed-width table for benchmark output."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def paper_vs_measured(title: str, rows: List[tuple],
+                      note: str = "") -> str:
+    """Render 'quantity / paper / measured / verdict' comparison rows."""
+    table_rows = []
+    for quantity, paper, measured, holds in rows:
+        table_rows.append([quantity, paper, measured,
+                           "OK" if holds else "MISMATCH"])
+    return render_table(title, ["quantity", "paper", "measured", "shape"],
+                        table_rows, note=note)

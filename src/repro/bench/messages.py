@@ -1,0 +1,85 @@
+"""Message-complexity harness (§5.2): Cruz O(N) vs flush-based O(N²).
+
+Both protocols run over the same simulated network against the same
+application; the counts are measured from the wire, and the flush
+baseline's restart re-establishment cost is included analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.apps.slm import slm_factory
+from repro.baselines.flush import (
+    flush_checkpoint_app,
+    install_flush_baseline,
+    restart_message_estimate,
+)
+from repro.cruz.cluster import CruzCluster
+
+
+@dataclass
+class MessagePoint:
+    n_nodes: int
+    cruz_messages: int
+    flush_messages: int
+    cruz_latency_s: float
+    flush_latency_s: float
+    flush_restart_estimate: int
+
+
+def run_messages(node_counts: Sequence[int] = (2, 4, 8, 16),
+                 ) -> List[MessagePoint]:
+    points = []
+    for n_nodes in node_counts:
+        cluster = CruzCluster(n_nodes, trace_enabled=True)
+        # A chatty configuration: halo exchanges every ~millisecond keep
+        # real data in flight, so the baseline's channel drain costs time.
+        app = cluster.launch_app_factory(
+            "slm", n_nodes,
+            slm_factory(n_nodes, global_rows=8 * n_nodes, cols=256,
+                        steps=100000, total_work_s=100.0 * n_nodes))
+        install_flush_baseline(cluster)
+        cluster.run_for(0.4)
+
+        before = cluster.trace.count("coord_msg")
+        cruz_stats = cluster.checkpoint_app(app)
+        cruz_messages = cluster.trace.count("coord_msg") - before
+
+        cluster.run_for(0.2)
+        before = cluster.trace.count("flush_msg")
+        flush_stats = flush_checkpoint_app(cluster, app)
+        flush_messages = cluster.trace.count("flush_msg") - before
+
+        points.append(MessagePoint(
+            n_nodes=n_nodes,
+            cruz_messages=cruz_messages,
+            flush_messages=flush_messages,
+            cruz_latency_s=cruz_stats.latency_s,
+            flush_latency_s=flush_stats.latency_s,
+            flush_restart_estimate=restart_message_estimate(n_nodes)))
+    return points
+
+
+def messages_shape_holds(points: List[MessagePoint]) -> dict:
+    by_n = {p.n_nodes: p for p in points}
+    ns = sorted(by_n)
+    first, last = by_n[ns[0]], by_n[ns[-1]]
+    scale = ns[-1] / ns[0]
+    return {
+        # Cruz: exactly linear (4 messages per node).
+        "cruz_linear": all(by_n[n].cruz_messages == 4 * n for n in ns),
+        # Flush: superlinear growth (4N + N(N-1)).
+        "flush_quadratic": all(
+            by_n[n].flush_messages == 4 * n + n * (n - 1) for n in ns),
+        # The gap widens with N.
+        "gap_widens": (last.flush_messages / last.cruz_messages) >
+                      (first.flush_messages / first.cruz_messages),
+        # Cruz is never slower per round.
+        "cruz_latency_wins": all(
+            by_n[n].cruz_latency_s <= by_n[n].flush_latency_s
+            for n in ns),
+        "cruz_message_growth_matches_scale":
+            last.cruz_messages == first.cruz_messages * scale,
+    }

@@ -1,0 +1,64 @@
+"""Runtime-overhead harness (§6: "The runtime overhead of Cruz is
+negligible (less than 0.5%) since the underlying Zap mechanism requires
+nothing more than virtualizing identifiers").
+
+Methodology: run the identical slm configuration twice — once inside pods
+(every syscall pays the interposition surcharge) and once as bare
+processes — and compare completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.slm import slm_factory
+from repro.cruz.cluster import CruzCluster
+
+
+@dataclass
+class OverheadResult:
+    bare_runtime_s: float
+    pod_runtime_s: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return (self.pod_runtime_s - self.bare_runtime_s) / \
+            self.bare_runtime_s
+
+
+def _run_until_done(cluster, procs, limit=1e5):
+    done = cluster.sim.all_of([p.exit_event for p in procs])
+    cluster.sim.run_until_complete(done, limit=limit)
+    return cluster.sim.now
+
+
+def run_overhead(n_nodes: int = 2, steps: int = 200,
+                 total_work_s: float = 4.0) -> OverheadResult:
+    factory = slm_factory(n_nodes, global_rows=8 * n_nodes, cols=16,
+                          steps=steps, total_work_s=total_work_s)
+
+    # Bare: plain processes on the node addresses, no pods anywhere.
+    bare = CruzCluster(n_nodes, trace_enabled=False)
+    node_ips = [str(node.stack.eth0.ip) for node in
+                bare.nodes[:n_nodes]]
+    bare_procs = [bare.nodes[rank].spawn(factory(rank, node_ips))
+                  for rank in range(n_nodes)]
+    bare_runtime = _run_until_done(bare, bare_procs)
+
+    # Pods: the same program through the Zap virtualisation layer.
+    podded = CruzCluster(n_nodes, trace_enabled=False)
+    app = podded.launch_app_factory("slm", n_nodes, factory)
+    pod_procs = [proc for pod in app.pods for proc in pod.processes()]
+    pod_runtime = _run_until_done(podded, pod_procs)
+
+    return OverheadResult(bare_runtime_s=bare_runtime,
+                          pod_runtime_s=pod_runtime)
+
+
+def overhead_shape_holds(result: OverheadResult) -> dict:
+    return {
+        "overhead_positive": result.overhead_fraction >= 0.0,
+        "overhead_below_half_percent":
+            result.overhead_fraction < 0.005,
+    }

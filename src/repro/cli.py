@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's experiments or run narrated demos without
+touching pytest — the quickest way to kick the tyres.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_fig5(args) -> int:
+    from repro.bench.fig5 import fig5_shape_holds, run_fig5
+    from repro.bench.harness import render_table
+    points = run_fig5(node_counts=tuple(args.nodes), rounds=args.rounds)
+    rows = [[p.n_nodes, f"{p.latency.mean:.3f} s",
+             f"{p.overhead.mean*1e6:.0f} us",
+             f"{p.restart_latency.mean:.3f} s",
+             int(p.messages_per_round)] for p in points]
+    print(render_table(
+        "Fig 5 — checkpoint latency / coordination overhead / restart",
+        ["nodes", "latency", "overhead", "restart", "msgs"], rows))
+    shape = fig5_shape_holds(points)
+    print("shape checks:", shape)
+    return 0 if all(shape.values()) else 1
+
+
+def _cmd_fig6(args) -> int:
+    from repro.bench.fig6 import fig6_shape_holds, run_fig6
+    result = run_fig6()
+    print(f"steady rate        : "
+          f"{result.pre_checkpoint_rate_bps/1e6:.1f} Mb/s")
+    print(f"checkpoint duration: "
+          f"{result.checkpoint_duration_s*1000:.1f} ms")
+    print(f"drain pulse at     : {result.pulse_time_s*1000:.1f} ms")
+    print(f"recovery at        : {result.recovery_time_s*1000:.1f} ms")
+    shape = fig6_shape_holds(result)
+    print("shape checks:", shape)
+    return 0 if all(shape.values()) else 1
+
+
+def _cmd_messages(args) -> int:
+    from repro.bench.harness import render_table
+    from repro.bench.messages import messages_shape_holds, run_messages
+    points = run_messages(node_counts=tuple(args.nodes))
+    rows = [[p.n_nodes, p.cruz_messages, p.flush_messages,
+             f"{p.cruz_latency_s*1000:.2f} ms",
+             f"{p.flush_latency_s*1000:.2f} ms"] for p in points]
+    print(render_table("Message complexity — Cruz O(N) vs flush O(N^2)",
+                       ["nodes", "cruz", "flush", "cruz lat",
+                        "flush lat"], rows))
+    shape = messages_shape_holds(points)
+    print("shape checks:", shape)
+    return 0 if all(shape.values()) else 1
+
+
+def _cmd_overhead(args) -> int:
+    from repro.bench.overhead import overhead_shape_holds, run_overhead
+    result = run_overhead()
+    print(f"bare runtime : {result.bare_runtime_s:.4f} s")
+    print(f"pod runtime  : {result.pod_runtime_s:.4f} s")
+    print(f"overhead     : {result.overhead_fraction*100:.4f} % "
+          f"(paper: < 0.5 %)")
+    shape = overhead_shape_holds(result)
+    return 0 if all(shape.values()) else 1
+
+
+def _cmd_fig4(args) -> int:
+    from repro.bench.harness import render_table
+    from repro.bench.optimization import (
+        optimization_shape_holds,
+        run_optimization,
+    )
+    result = run_optimization()
+    pods = sorted(result.blocking_pause_s)
+    rows = [[pod, f"{result.blocking_pause_s[pod]*1000:.0f} ms",
+             f"{result.optimized_pause_s[pod]*1000:.0f} ms"]
+            for pod in pods]
+    print(render_table("Fig 4 — per-pod pause, blocking vs optimised",
+                       ["pod", "blocking", "optimised"], rows))
+    shape = optimization_shape_holds(result)
+    print("shape checks:", shape)
+    return 0 if all(shape.values()) else 1
+
+
+def _cmd_demo(args) -> int:
+    from repro.apps.kvserver import KvClient, KvServer
+    from repro.cruz.cluster import CruzCluster
+    from repro.tools import format_table, netstat, pod_report, ps
+
+    cluster = CruzCluster(2)
+    pod = cluster.create_pod(0, "kv")
+    pod.spawn(KvServer())
+    requests = [{"op": "put", "key": f"k{i}", "value": i}
+                for i in range(100)]
+    client = cluster.coordinator_node.spawn(
+        KvClient(str(pod.ip), requests, think_time_s=0.005))
+    cluster.run_for(0.2)
+    print("## processes on node0")
+    print(format_table(ps(cluster.nodes[0])))
+    print("\n## connections on node0")
+    print(format_table(netstat(cluster.nodes[0])))
+    print(f"\nmigrating pod {pod.name!r} to node1 mid-conversation...")
+    cluster.migrate_pod(pod, target_node_index=1)
+    cluster.run_until(lambda: not client.is_alive, limit=60, step=0.1)
+    print("\n## pods after migration")
+    print(format_table(pod_report(cluster)))
+    ok = client.exit_code == 0 and \
+        all(r["ok"] for r in client.program.responses)
+    print(f"\nclient finished {len(client.program.responses)} requests: "
+          f"{'all OK — migration was transparent' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cruz (DSN 2005) reproduction — demos and "
+                    "experiment harnesses")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="narrated live-migration demo")
+    demo.set_defaults(fn=_cmd_demo)
+
+    fig5 = sub.add_parser("fig5", help="checkpoint latency/overhead")
+    fig5.add_argument("--nodes", type=int, nargs="+",
+                      default=[2, 4, 6, 8])
+    fig5.add_argument("--rounds", type=int, default=5)
+    fig5.set_defaults(fn=_cmd_fig5)
+
+    fig6 = sub.add_parser("fig6", help="TCP stream through a checkpoint")
+    fig6.set_defaults(fn=_cmd_fig6)
+
+    messages = sub.add_parser("messages",
+                              help="Cruz vs flush message complexity")
+    messages.add_argument("--nodes", type=int, nargs="+",
+                          default=[2, 4, 8, 16])
+    messages.set_defaults(fn=_cmd_messages)
+
+    overhead = sub.add_parser("overhead",
+                              help="virtualisation runtime overhead")
+    overhead.set_defaults(fn=_cmd_overhead)
+
+    fig4 = sub.add_parser("fig4", help="early-resume optimisation")
+    fig4.set_defaults(fn=_cmd_fig4)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Cruz: application-transparent distributed checkpoint-restart.
+
+The paper's two contributions:
+
+1. saving and restoring the state of live TCP connections
+   (:mod:`repro.cruz.netstate`);
+2. a lightweight coordinated checkpoint-restart protocol that drops
+   in-flight packets instead of flushing channels
+   (:mod:`repro.cruz.coordinator` / :mod:`repro.cruz.agent`).
+
+:class:`repro.cruz.cluster.CruzCluster` is the high-level entry point.
+"""
+
+from repro.cruz.agent import CheckpointAgent
+from repro.cruz.consistency import (
+    ChannelVerdict,
+    ConsistencyReport,
+    check_app_checkpoint,
+    check_global_consistency,
+)
+from repro.cruz.cluster import CruzCluster
+from repro.cruz.coordinator import CheckpointCoordinator, DistributedApp
+from repro.cruz.netstate import (
+    CruzSocketCodec,
+    capture_connection,
+    restore_connection,
+)
+from repro.cruz.protocol import ControlMessage, RoundStats
+from repro.cruz.storage import ImageStore
+
+__all__ = [
+    "ChannelVerdict",
+    "CheckpointAgent",
+    "ConsistencyReport",
+    "CheckpointCoordinator",
+    "ControlMessage",
+    "CruzCluster",
+    "CruzSocketCodec",
+    "DistributedApp",
+    "ImageStore",
+    "RoundStats",
+    "capture_connection",
+    "check_app_checkpoint",
+    "check_global_consistency",
+    "restore_connection",
+]

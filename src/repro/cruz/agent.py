@@ -1,0 +1,288 @@
+"""The per-node Checkpoint Agent (Fig. 2).
+
+The Agent runs outside any pod (footnote 4: its own traffic never matches
+the pod's netfilter rule, so coordination is never self-blocked). On
+``<checkpoint>`` it:
+
+1. configures the packet filter to silently drop all traffic to/from the
+   local pod,
+2. stops the pod's processes and takes the local checkpoint,
+3. reports ``<done>``, waits for ``<continue>``,
+4. resumes the pod, removes the filter, reports ``<continue-done>``.
+
+With the Fig. 4 optimisation it instead reports ``<comm-disabled>`` right
+after step 1 and resumes on its own as soon as both its local save is done
+and the coordinator has confirmed every node disabled communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.cruz import protocol
+from repro.cruz.netstate import CruzSocketCodec
+from repro.cruz.protocol import AGENT_PORT, COORDINATOR_PORT, ControlMessage
+from repro.cruz.storage import ImageStore
+from repro.errors import CoordinationError
+from repro.net.addresses import Ipv4Address
+from repro.simos.kernel import Node
+from repro.zap.checkpoint import CheckpointEngine, scrub_pod_network
+from repro.zap.pod import Pod
+from repro.zap.restart import RestartEngine
+from repro.zap.socket_codec import SocketCodec
+from repro.zap.virtualization import uninstall_pod
+
+
+class CheckpointAgent:
+    """One agent per application node."""
+
+    def __init__(self, node: Node, store: ImageStore,
+                 codec: Optional[SocketCodec] = None,
+                 continue_timeout_s: float = 120.0):
+        self.node = node
+        self.store = store
+        #: Coordinator-failure tolerance (§5.1: "can be extended in a
+        #: straightforward way"): if <continue> never arrives, the agent
+        #: aborts unilaterally — resumes its pod, re-enables
+        #: communication, and discards the uncommitted image.
+        self.continue_timeout_s = continue_timeout_s
+        self.unilateral_aborts = 0
+        codec = codec if codec is not None else CruzSocketCodec()
+        self.checkpoint_engine = CheckpointEngine(codec)
+        self.restart_engine = RestartEngine(codec)
+        self.pods: Dict[str, Pod] = {}
+        #: epoch -> {"continue": Event, "aborted": bool}
+        self._rounds: Dict[int, Dict] = {}
+        self.messages_handled = 0
+        self.messages_sent = 0
+        #: Failure injection: a crashed agent ignores all traffic.
+        self.crashed = False
+        node.stack.udp.bind(AGENT_PORT, self._on_datagram)
+
+    def register_pod(self, pod: Pod) -> None:
+        self.pods[pod.name] = pod
+
+    def unregister_pod(self, pod_name: str) -> Optional[Pod]:
+        return self.pods.pop(pod_name, None)
+
+    # -- transport ---------------------------------------------------------
+
+    def _send(self, coordinator_ip: Ipv4Address,
+              message: ControlMessage) -> None:
+        self.messages_sent += 1
+        self.node.trace.emit(self.node.sim.now, "coord_msg",
+                             node=self.node.name, kind=message.kind,
+                             epoch=message.epoch)
+        self.node.stack.udp.send(
+            self.node.stack.eth0.ip, AGENT_PORT,
+            coordinator_ip, COORDINATOR_PORT, message,
+            payload_size=message.size)
+
+    def _on_datagram(self, payload, src_ip, _src_port, _dst_ip) -> None:
+        if self.crashed or not isinstance(payload, ControlMessage):
+            return
+        self.messages_handled += 1
+        self.node.sim.process(
+            self._dispatch(payload, src_ip),
+            name=f"agent@{self.node.name}:{payload.kind}")
+
+    def _dispatch(self, message: ControlMessage,
+                  coordinator_ip: Ipv4Address) -> Generator:
+        yield self.node.sim.timeout(self.node.costs.agent_message_handling)
+        if message.kind == protocol.CHECKPOINT:
+            yield from self._do_checkpoint(message, coordinator_ip)
+        elif message.kind == protocol.RESTART:
+            yield from self._do_restart(message, coordinator_ip)
+        elif message.kind == protocol.CONTINUE:
+            self._signal_continue(message.epoch, aborted=False)
+        elif message.kind == protocol.ABORT:
+            self._signal_continue(message.epoch, aborted=True)
+
+    def _signal_continue(self, epoch: int, aborted: bool) -> None:
+        state = self._rounds.get(epoch)
+        if state is None:
+            return
+        state["aborted"] = aborted
+        event = state["continue"]
+        if not event.triggered:
+            event.succeed()
+
+    def _round_state(self, epoch: int) -> Dict:
+        state = self._rounds.get(epoch)
+        if state is None:
+            state = {"continue": self.node.sim.event(f"continue({epoch})"),
+                     "aborted": False}
+            self._rounds[epoch] = state
+        return state
+
+    def _await_continue(self, state: Dict) -> Generator:
+        """Wait for <continue>/<abort>, aborting on coordinator silence."""
+        sim = self.node.sim
+        event = state["continue"]
+        timer = sim.timeout(self.continue_timeout_s)
+        outcome = yield sim.any_of([event, timer])
+        if event not in outcome:
+            state["aborted"] = True
+            self.unilateral_aborts += 1
+            self.node.trace.emit(
+                sim.now, "agent_abort", node=self.node.name,
+                reason="coordinator silent")
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def _do_checkpoint(self, message: ControlMessage,
+                       coordinator_ip: Ipv4Address) -> Generator:
+        sim, costs = self.node.sim, self.node.costs
+        pod = self.pods.get(message.pod_name)
+        if pod is None:
+            self._send(coordinator_ip, ControlMessage(
+                kind=protocol.ABORT, epoch=message.epoch,
+                node_name=self.node.name,
+                reason=f"no pod {message.pod_name!r}"))
+            return
+        state = self._round_state(message.epoch)
+        started = sim.now
+        self.node.trace.emit(sim.now, "pod_paused", node=self.node.name,
+                             pod=pod.name, epoch=message.epoch)
+        # Step 1: silently drop all traffic to/from the local pod.
+        rule_id = self.node.stack.netfilter.drop_all_for(pod.ip)
+        yield sim.timeout(costs.netfilter_update)
+        if message.optimized:
+            self._send(coordinator_ip, ControlMessage(
+                kind=protocol.COMM_DISABLED, epoch=message.epoch,
+                pod_name=pod.name, node_name=self.node.name))
+            yield from self._optimized_checkpoint(
+                message, coordinator_ip, pod, state, rule_id, started)
+            return
+        # Step 2: stop the pod and take the local checkpoint. With the
+        # copy-on-write option the pod resumes computing (still behind
+        # the filter) as soon as its state is extracted.
+        image = yield from self.checkpoint_engine.checkpoint(
+            pod, resume=message.concurrent,
+            incremental=message.incremental,
+            concurrent=message.concurrent)
+        version = self.store.save(image)
+        local_checkpoint_s = sim.now - started
+        # Step 3: report done; Step 4: wait for <continue>.
+        self._send(coordinator_ip, ControlMessage(
+            kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
+            node_name=self.node.name,
+            local_checkpoint_s=local_checkpoint_s))
+        yield from self._await_continue(state)
+        # Steps 5-7: resume, re-enable communication, report.
+        resume_started = sim.now
+        if not message.concurrent:
+            pod.continue_all()
+        self.node.trace.emit(sim.now, "pod_resumed", node=self.node.name,
+                             pod=pod.name, epoch=message.epoch)
+        self.node.stack.netfilter.remove_rule(rule_id)
+        yield sim.timeout(costs.netfilter_update)
+        if state["aborted"]:
+            # Undo: the round never committed; drop the half-round image.
+            self.store.discard(pod.name, version)
+        else:
+            self._send(coordinator_ip, ControlMessage(
+                kind=protocol.CONTINUE_DONE, epoch=message.epoch,
+                pod_name=pod.name, node_name=self.node.name,
+                local_continue_s=sim.now - resume_started))
+        self._rounds.pop(message.epoch, None)
+
+    def _optimized_checkpoint(self, message: ControlMessage,
+                              coordinator_ip: Ipv4Address, pod: Pod,
+                              state: Dict, rule_id: int,
+                              started: float) -> Generator:
+        """The Fig. 4 flow, with the §5.2 refinements layered in.
+
+        The local save runs concurrently with waiting for <continue>
+        (confirmation that every node has disabled communication). Once
+        both the capture is done and <continue> has arrived, the
+        ``early_network`` option re-enables communication so TCP backoff
+        recovery overlaps the remaining disk write; the pod itself
+        resumes as soon as its save completes.
+        """
+        sim, costs = self.node.sim, self.node.costs
+        captured = sim.event(f"captured({message.epoch})")
+        save_task = sim.process(
+            self.checkpoint_engine.checkpoint(
+                pod, resume=False, incremental=message.incremental,
+                on_captured=lambda: captured.succeed()
+                if not captured.triggered else None),
+            name=f"save({pod.name})")
+        yield from self._await_continue(state)
+        if not captured.triggered:
+            yield captured
+        removed_early = False
+        if message.early_network and not state["aborted"]:
+            self.node.stack.netfilter.remove_rule(rule_id)
+            yield sim.timeout(costs.netfilter_update)
+            removed_early = True
+        image = yield save_task
+        version = self.store.save(image)
+        local_checkpoint_s = sim.now - started
+        resume_started = sim.now
+        pod.continue_all()
+        self.node.trace.emit(sim.now, "pod_resumed", node=self.node.name,
+                             pod=pod.name, epoch=message.epoch)
+        if not removed_early:
+            self.node.stack.netfilter.remove_rule(rule_id)
+            yield sim.timeout(costs.netfilter_update)
+        if state["aborted"]:
+            self.store.discard(pod.name, version)
+        else:
+            self._send(coordinator_ip, ControlMessage(
+                kind=protocol.DONE, epoch=message.epoch,
+                pod_name=pod.name, node_name=self.node.name,
+                local_checkpoint_s=local_checkpoint_s,
+                local_continue_s=sim.now - resume_started))
+        self._rounds.pop(message.epoch, None)
+
+    # -- restart --------------------------------------------------------------
+
+    def _do_restart(self, message: ControlMessage,
+                    coordinator_ip: Ipv4Address) -> Generator:
+        sim, costs = self.node.sim, self.node.costs
+        state = self._round_state(message.epoch)
+        started = sim.now
+        image = self.store.load(message.pod_name,
+                                message.version or None)
+        # Communications must be disabled *before* any state is restored:
+        # restored TCP would otherwise transmit before its peers exist (§5).
+        rule_id = self.node.stack.netfilter.drop_all_for(image.ip)
+        yield sim.timeout(costs.netfilter_update)
+        pod = yield from self.restart_engine.restart(
+            image, self.node, resume=False)
+        self.register_pod(pod)
+        self._send(coordinator_ip, ControlMessage(
+            kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
+            node_name=self.node.name,
+            local_checkpoint_s=sim.now - started))
+        yield from self._await_continue(state)
+        resume_started = sim.now
+        if state["aborted"]:
+            scrub_pod_network(pod)
+            pod.kill_all()
+            uninstall_pod(pod)
+            self.unregister_pod(pod.name)
+            self.node.stack.netfilter.remove_rule(rule_id)
+            self._rounds.pop(message.epoch, None)
+            return
+        self.restart_engine.resume(pod, image)
+        self.node.stack.netfilter.remove_rule(rule_id)
+        yield sim.timeout(costs.netfilter_update)
+        self._send(coordinator_ip, ControlMessage(
+            kind=protocol.CONTINUE_DONE, epoch=message.epoch,
+            pod_name=pod.name, node_name=self.node.name,
+            local_continue_s=sim.now - resume_started))
+        self._rounds.pop(message.epoch, None)
+
+    def local_checkpoint(self, pod: Pod, resume: bool = True,
+                         incremental: bool = False) -> Generator:
+        """Uncoordinated single-pod checkpoint (LSF integration path)."""
+        image = yield from self.checkpoint_engine.checkpoint(
+            pod, resume=resume, incremental=incremental)
+        version = self.store.save(image)
+        return version
+
+
+class AgentError(CoordinationError):
+    """Raised for agent-side protocol violations."""

@@ -1,0 +1,225 @@
+"""CruzCluster: the high-level public API.
+
+Wires a simulated cluster with pods, per-node Checkpoint Agents, a
+Coordinator on a dedicated node (as in §6's evaluation setup), and the
+shared checkpoint image store.
+
+Typical use::
+
+    cluster = CruzCluster(n_app_nodes=4)
+    app = cluster.launch_app("slm", [make_rank(i) for i in range(4)])
+    cluster.run_for(8.0)
+    stats = cluster.checkpoint_app(app)       # coordinated checkpoint
+    cluster.crash_app(app)                    # or a real failure
+    cluster.restart_app(app)                  # coordinated restart
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster
+from repro.cruz.agent import CheckpointAgent
+from repro.cruz.coordinator import CheckpointCoordinator, DistributedApp
+from repro.cruz.netstate import CruzSocketCodec
+from repro.cruz.protocol import RoundStats
+from repro.cruz.storage import ImageStore
+from repro.errors import PodError
+from repro.simos.program import Program
+from repro.zap.checkpoint import scrub_pod_network
+from repro.zap.pod import Pod
+from repro.zap.socket_codec import SocketCodec
+from repro.zap.virtualization import install_pod, uninstall_pod
+
+
+class CruzCluster(Cluster):
+    """A cluster with Cruz installed on every node.
+
+    Node layout: indices ``0 .. n_app_nodes-1`` host applications; the
+    last node (index ``n_app_nodes``) hosts the Checkpoint Coordinator.
+    """
+
+    def __init__(self, n_app_nodes: int,
+                 codec: Optional[SocketCodec] = None,
+                 coordinator_timeout_s: float = 60.0,
+                 **kwargs):
+        super().__init__(n_app_nodes + 1, **kwargs)
+        self.n_app_nodes = n_app_nodes
+        self.codec = codec if codec is not None else CruzSocketCodec()
+        self.store = ImageStore(self.fs)
+        self.agents: List[CheckpointAgent] = [
+            CheckpointAgent(node, self.store, codec=self.codec)
+            for node in self.nodes[:n_app_nodes]]
+        self.coordinator_node = self.nodes[n_app_nodes]
+        self.coordinator = CheckpointCoordinator(
+            self.coordinator_node, timeout_s=coordinator_timeout_s)
+        self.apps: Dict[str, DistributedApp] = {}
+
+    # -- pods and apps -----------------------------------------------------
+
+    def create_pod(self, node_index: int, name: str,
+                   own_wire_mac: Optional[bool] = None) -> Pod:
+        node = self.nodes[node_index]
+        if own_wire_mac is None:
+            own_wire_mac = node.stack.nic.supports_multiple_macs
+        if own_wire_mac:
+            mac = self.allocate_vif_mac()
+            fake = None
+        else:
+            mac = node.stack.nic.primary_mac
+            fake = self.allocate_vif_mac()
+        pod = Pod(node, name, ip=self.allocate_pod_ip(), mac=mac,
+                  own_wire_mac=own_wire_mac, fake_mac=fake)
+        install_pod(pod)
+        self.agents[node_index].register_pod(pod)
+        return pod
+
+    def launch_app(self, name: str, programs: Sequence[Program],
+                   node_indices: Optional[Sequence[int]] = None,
+                   ) -> DistributedApp:
+        """One pod per program, placed round-robin on the app nodes."""
+        if node_indices is None:
+            node_indices = [i % self.n_app_nodes
+                            for i in range(len(programs))]
+        if len(node_indices) != len(programs):
+            raise PodError("one node index per program required")
+        pods = []
+        for rank, (program, node_index) in enumerate(
+                zip(programs, node_indices)):
+            pod = self.create_pod(node_index, f"{name}-r{rank}")
+            pod.spawn(program, name=f"{name}[{rank}]")
+            pods.append(pod)
+        app = DistributedApp(name, pods)
+        self.apps[name] = app
+        return app
+
+    def launch_app_factory(self, name: str, n_ranks: int, factory,
+                           node_indices: Optional[Sequence[int]] = None,
+                           ) -> DistributedApp:
+        """Like :meth:`launch_app`, for programs that need the pod IPs.
+
+        ``factory(rank, peer_ips)`` builds each rank's program after all
+        pods (and hence their addresses) exist.
+        """
+        if node_indices is None:
+            node_indices = [i % self.n_app_nodes for i in range(n_ranks)]
+        pods = [self.create_pod(node_indices[rank], f"{name}-r{rank}")
+                for rank in range(n_ranks)]
+        peer_ips = [str(pod.ip) for pod in pods]
+        for rank, pod in enumerate(pods):
+            pod.spawn(factory(rank, peer_ips), name=f"{name}[{rank}]")
+        app = DistributedApp(name, pods)
+        self.apps[name] = app
+        return app
+
+    def pod_ips(self, app: DistributedApp) -> List[str]:
+        return [str(pod.ip) for pod in app.pods]
+
+    # -- coordinated operations -----------------------------------------------
+
+    def checkpoint_app(self, app: DistributedApp, optimized: bool = False,
+                       incremental: bool = False,
+                       early_network: bool = False,
+                       concurrent: bool = False,
+                       limit: float = 1e6) -> RoundStats:
+        """Run one coordinated checkpoint round to completion."""
+        task = self.sim.process(self.coordinator.checkpoint(
+            app, optimized=optimized, incremental=incremental,
+            early_network=early_network, concurrent=concurrent))
+        return self.sim.run_until_complete(task, limit=limit)
+
+    def crash_app(self, app: DistributedApp) -> None:
+        """Destroy the app's pods in place (simulating node failures).
+
+        State vanishes silently — no FIN/RST reaches the peers, exactly as
+        when a machine loses power.
+        """
+        for pod in app.pods:
+            scrub_pod_network(pod)
+            pod.kill_all()
+            uninstall_pod(pod)
+            agent = self._agent_for(pod.node.name)
+            if agent is not None:
+                agent.unregister_pod(pod.name)
+
+    def restart_app(self, app: DistributedApp,
+                    node_indices: Optional[Sequence[int]] = None,
+                    version: int = 0, limit: float = 1e6) -> RoundStats:
+        """Coordinated restart from the stored images.
+
+        ``node_indices`` may place pods on different nodes than before
+        (migration across the subnet, §4.2).
+        """
+        if node_indices is None:
+            members = [(pod.node.stack.eth0.ip, pod.name)
+                       for pod in app.pods]
+        else:
+            members = [(self.nodes[idx].stack.eth0.ip, pod.name)
+                       for idx, pod in zip(node_indices, app.pods)]
+        task = self.sim.process(self.coordinator.restart(
+            app.name, members, version=version))
+        stats = self.sim.run_until_complete(task, limit=limit)
+        # Re-point the app at the recreated pods.
+        new_pods = []
+        for _ip, pod_name in members:
+            for agent in self.agents:
+                if pod_name in agent.pods:
+                    new_pods.append(agent.pods[pod_name])
+                    break
+        app.pods = new_pods
+        return stats
+
+    def migrate_pod(self, pod: Pod, target_node_index: int,
+                    limit: float = 1e6) -> Pod:
+        """Live-migrate one pod: checkpoint, kill, restart on the target."""
+        source_agent = self._agent_for(pod.node.name)
+        target_agent = self.agents[target_node_index]
+        engine = source_agent.checkpoint_engine
+
+        def sequence():
+            # Isolate the pod for the WHOLE migration: anything its old
+            # kernel half received-and-ACKed after the capture would be
+            # lost forever (the restored endpoint rolls back, the peer
+            # will not retransmit acknowledged data).
+            source_node = pod.node
+            rule_id = source_node.stack.netfilter.drop_all_for(pod.ip)
+            yield self.sim.timeout(source_node.costs.netfilter_update)
+            try:
+                image = yield from engine.checkpoint(pod, resume=False)
+                self.store.save(image)
+                scrub_pod_network(pod)
+                pod.kill_all()
+                uninstall_pod(pod)
+                source_agent.unregister_pod(pod.name)
+            finally:
+                source_node.stack.netfilter.remove_rule(rule_id)
+            restored = yield from target_agent.restart_engine.restart(
+                image, target_agent.node, resume=True)
+            target_agent.register_pod(restored)
+            return restored
+
+        task = self.sim.process(sequence(), name=f"migrate({pod.name})")
+        new_pod = self.sim.run_until_complete(task, limit=limit)
+        for app in self.apps.values():
+            app.pods = [new_pod if p.name == new_pod.name else p
+                        for p in app.pods]
+        return new_pod
+
+    def _agent_for(self, node_name: str) -> Optional[CheckpointAgent]:
+        for agent in self.agents:
+            if agent.node.name == node_name:
+                return agent
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    def app_programs(self, app: DistributedApp) -> List[Program]:
+        """The (live) program instances, rank-ordered."""
+        programs = []
+        for pod in app.pods:
+            for proc in pod.processes():
+                programs.append(proc.program)
+        return programs
+
+    def coordination_message_count(self) -> int:
+        return self.trace.count("coord_msg")

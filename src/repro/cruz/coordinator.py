@@ -1,0 +1,234 @@
+"""The Checkpoint Coordinator (Fig. 2).
+
+Runs on a node distinct from the application nodes (§6). The protocol is
+the minimum for atomic commit — O(N) messages total, versus the O(N²)
+channel-flush protocols of MPVM/CoCheck/LAM-MPI (§5.2):
+
+* Step 1: send ``<checkpoint>`` to every Agent.
+* Step 2: wait for ``<done>`` from all (Fig. 5a's latency metric ends at
+  the last ``<done>``).
+* Step 3: send ``<continue>``.
+* Step 4: wait for ``<continue-done>`` from all.
+
+A round that times out (crashed agent, lost pod) is aborted on every node,
+so a half-taken checkpoint is never committed — two-phase-commit semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.cruz import protocol
+from repro.cruz.protocol import (
+    AGENT_PORT,
+    COORDINATOR_PORT,
+    ControlMessage,
+    RoundStats,
+)
+from repro.errors import CoordinationError
+from repro.net.addresses import Ipv4Address
+from repro.simos.kernel import Node
+from repro.zap.pod import Pod
+
+#: (agent node eth0 IP, pod name) pairs — one per application node.
+Members = List[Tuple[Ipv4Address, str]]
+
+
+class DistributedApp:
+    """A named set of pods, one per application node."""
+
+    def __init__(self, name: str, pods: List[Pod]):
+        self.name = name
+        self.pods = list(pods)
+
+    @property
+    def members(self) -> Members:
+        return [(pod.node.stack.eth0.ip, pod.name) for pod in self.pods]
+
+    def __repr__(self) -> str:
+        return f"<DistributedApp {self.name} pods={len(self.pods)}>"
+
+
+class CheckpointCoordinator:
+    """Drives coordinated checkpoint and restart rounds."""
+
+    def __init__(self, node: Node, timeout_s: float = 60.0):
+        self.node = node
+        self.timeout_s = timeout_s
+        self._epoch = 0
+        self.rounds: List[RoundStats] = []
+        #: epoch -> kind -> (expected node-name set, received messages,
+        #: completion event)
+        self._collectors: Dict[int, Dict[str, Dict]] = {}
+        self._abort_seen: Dict[int, str] = {}
+        node.stack.udp.bind(COORDINATOR_PORT, self._on_datagram)
+
+    # -- transport ----------------------------------------------------------
+
+    def _send(self, agent_ip: Ipv4Address, message: ControlMessage) -> None:
+        self.node.trace.emit(self.node.sim.now, "coord_msg",
+                             node=self.node.name, kind=message.kind,
+                             epoch=message.epoch)
+        self.node.stack.udp.send(
+            self.node.stack.eth0.ip, COORDINATOR_PORT,
+            agent_ip, AGENT_PORT, message, payload_size=message.size)
+
+    def _on_datagram(self, payload, _src_ip, _src_port, _dst_ip) -> None:
+        if not isinstance(payload, ControlMessage):
+            return
+        if payload.kind == protocol.ABORT:
+            self._abort_seen[payload.epoch] = payload.reason
+            for collector in self._collectors.get(payload.epoch,
+                                                  {}).values():
+                if not collector["event"].triggered:
+                    collector["event"].fail(
+                        CoordinationError(payload.reason))
+            return
+        collector = self._collectors.get(payload.epoch, {}).get(payload.kind)
+        if collector is None:
+            return
+        collector["received"][payload.pod_name] = payload
+        if set(collector["received"]) >= collector["expected"] and \
+                not collector["event"].triggered:
+            collector["event"].succeed(dict(collector["received"]))
+
+    def _expect(self, epoch: int, kind: str, pod_names: Set[str]):
+        event = self.node.sim.event(f"collect({kind},{epoch})")
+        self._collectors.setdefault(epoch, {})[kind] = {
+            "expected": set(pod_names), "received": {}, "event": event}
+        return event
+
+    def _collect(self, event, stats: RoundStats) -> Generator:
+        """Wait for a collector event with the round timeout."""
+        sim = self.node.sim
+        timer = sim.timeout(self.timeout_s)
+        outcome = yield sim.any_of([event, timer])
+        if event in outcome:
+            stats.messages_received += len(event.value)
+            # Processing each reply costs coordinator CPU.
+            yield sim.timeout(self.node.costs.coordinator_message_handling
+                              * len(event.value))
+            return event.value
+        raise CoordinationError(
+            f"round {stats.epoch}: timed out waiting for agents")
+
+    # -- rounds ------------------------------------------------------------
+
+    def checkpoint(self, app: DistributedApp, optimized: bool = False,
+                   incremental: bool = False,
+                   early_network: bool = False,
+                   concurrent: bool = False) -> Generator:
+        """Coordinated checkpoint; value is the round's RoundStats.
+
+        ``early_network`` re-enables each node's communication as soon as
+        its socket state is captured and all nodes are known to have
+        disabled theirs — it therefore requires ``optimized`` (§5.2).
+        ``concurrent`` resumes computation behind the filter during the
+        disk write (the copy-on-write optimisation).
+        """
+        if early_network and not optimized:
+            raise CoordinationError(
+                "early_network requires the optimized (Fig 4) protocol: "
+                "a node may only unfilter once all nodes have disabled "
+                "communication")
+        return (yield from self._run_round(
+            app, protocol.CHECKPOINT, optimized=optimized,
+            incremental=incremental, early_network=early_network,
+            concurrent=concurrent))
+
+    def restart(self, app_name: str, members: Members,
+                version: int = 0) -> Generator:
+        """Coordinated restart of ``app_name`` onto the given agents."""
+        return (yield from self._run_round(
+            DistributedApp(app_name, []), protocol.RESTART,
+            members=members, version=version))
+
+    def _run_round(self, app: DistributedApp, kind: str,
+                   optimized: bool = False, incremental: bool = False,
+                   members: Optional[Members] = None,
+                   version: int = 0, early_network: bool = False,
+                   concurrent: bool = False) -> Generator:
+        sim, costs = self.node.sim, self.node.costs
+        self._epoch += 1
+        epoch = self._epoch
+        members = members if members is not None else app.members
+        expected_pods = {pod_name for _ip, pod_name in members}
+        stats = RoundStats(epoch=epoch, kind=kind, n_nodes=len(members),
+                           started_at=sim.now)
+        if optimized:
+            disabled_event = self._expect(
+                epoch, protocol.COMM_DISABLED, expected_pods)
+        done_event = self._expect(epoch, protocol.DONE, expected_pods)
+        continue_done_event = None
+        if not optimized:
+            continue_done_event = self._expect(
+                epoch, protocol.CONTINUE_DONE, expected_pods)
+
+        try:
+            # Step 1: notify every Agent.
+            for agent_ip, pod_name in members:
+                yield sim.timeout(costs.coordinator_message_handling)
+                self._send(agent_ip, ControlMessage(
+                    kind=kind, epoch=epoch, pod_name=pod_name,
+                    optimized=optimized, incremental=incremental,
+                    version=version, early_network=early_network,
+                    concurrent=concurrent))
+                stats.messages_sent += 1
+            if optimized:
+                # Fig. 4: continue as soon as communication is disabled
+                # everywhere; agents resume independently after their save.
+                yield from self._collect(disabled_event, stats)
+                for agent_ip, _pod in members:
+                    yield sim.timeout(costs.coordinator_message_handling)
+                    self._send(agent_ip, ControlMessage(
+                        kind=protocol.CONTINUE, epoch=epoch))
+                    stats.messages_sent += 1
+                dones = yield from self._collect(done_event, stats)
+                stats.latency_s = sim.now - stats.started_at
+                stats.total_s = stats.latency_s
+                self._fill_local_ops(stats, dones.values())
+            else:
+                # Step 2: wait for all <done>.
+                dones = yield from self._collect(done_event, stats)
+                stats.latency_s = sim.now - stats.started_at
+                self._fill_local_ops(stats, dones.values())
+                # Step 3: allow everyone to resume.
+                for agent_ip, _pod in members:
+                    yield sim.timeout(costs.coordinator_message_handling)
+                    self._send(agent_ip, ControlMessage(
+                        kind=protocol.CONTINUE, epoch=epoch))
+                    stats.messages_sent += 1
+                # Step 4: wait for all <continue-done>.
+                final = yield from self._collect(continue_done_event, stats)
+                stats.total_s = sim.now - stats.started_at
+                stats.max_local_continue_s = max(
+                    (m.local_continue_s for m in final.values()),
+                    default=0.0)
+            stats.committed = True
+        except CoordinationError:
+            stats.aborted = True
+            for agent_ip, _pod in members:
+                self._send(agent_ip, ControlMessage(
+                    kind=protocol.ABORT, epoch=epoch,
+                    reason="coordinator abort"))
+                stats.messages_sent += 1
+            raise
+        finally:
+            self.rounds.append(stats)
+            self._collectors.pop(epoch, None)
+            self.node.trace.emit(
+                sim.now, "round", node=self.node.name, kind=kind,
+                epoch=epoch, latency=stats.latency_s,
+                overhead=stats.coordination_overhead_s,
+                committed=stats.committed)
+        return stats
+
+    @staticmethod
+    def _fill_local_ops(stats: RoundStats, messages) -> None:
+        stats.max_local_op_s = max(
+            (m.local_checkpoint_s for m in messages), default=0.0)
+        continue_s = max((m.local_continue_s for m in messages),
+                         default=0.0)
+        stats.max_local_continue_s = max(stats.max_local_continue_s,
+                                         continue_s)
+

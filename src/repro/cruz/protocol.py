@@ -1,0 +1,93 @@
+"""Coordination protocol messages (Fig. 2 / Fig. 4).
+
+Control messages travel over the simulated network (UDP) between the
+Checkpoint Coordinator and the per-node Checkpoint Agents, so message
+counts and wire latencies are measured, not asserted. The message set is
+the minimum needed for two-phase-commit-style atomicity:
+
+``CHECKPOINT → (COMM_DISABLED) → DONE → CONTINUE → CONTINUE_DONE``
+
+plus ``RESTART`` (same shape) and ``ABORT`` for failure handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+AGENT_PORT = 7601
+COORDINATOR_PORT = 7602
+
+CHECKPOINT = "CHECKPOINT"
+RESTART = "RESTART"
+COMM_DISABLED = "COMM_DISABLED"   # Fig. 4 optimisation only
+DONE = "DONE"
+CONTINUE = "CONTINUE"
+CONTINUE_DONE = "CONTINUE_DONE"
+ABORT = "ABORT"
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """One coordinator/agent protocol message."""
+
+    kind: str
+    epoch: int
+    pod_name: str = ""
+    node_name: str = ""
+    #: RESTART: which stored image version to restore (0 = latest).
+    version: int = 0
+    #: Fig. 4: agents resume as soon as their own save finishes.
+    optimized: bool = False
+    #: Incremental checkpoint (dirty pages only).
+    incremental: bool = False
+    #: §5.2 TCP-backoff optimisation: re-enable communication as soon as
+    #: the communication state is captured (requires ``optimized`` — the
+    #: filter may only drop early once every node has disabled comms).
+    early_network: bool = False
+    #: §5.2 copy-on-write-style optimisation: the pod resumes computing
+    #: (still filtered) while its state is written to disk.
+    concurrent: bool = False
+    #: Agents report local operation durations so the coordinator can
+    #: compute coordination overhead exactly as §6 does.
+    local_checkpoint_s: float = 0.0
+    local_continue_s: float = 0.0
+    #: Failure-injection/abort reason.
+    reason: str = ""
+    #: Wire size estimate.
+    payload_bytes: int = field(default=64)
+
+    @property
+    def size(self) -> int:
+        return self.payload_bytes
+
+
+@dataclass
+class RoundStats:
+    """Coordinator-side measurements for one checkpoint/restart round."""
+
+    epoch: int
+    kind: str
+    n_nodes: int
+    started_at: float
+    #: first <checkpoint> sent -> last <done> received (Fig. 5a metric).
+    latency_s: float = 0.0
+    #: full protocol completion including continue-done.
+    total_s: float = 0.0
+    #: max over nodes of the local checkpoint/restart operation.
+    max_local_op_s: float = 0.0
+    #: max over nodes of the local continue operation.
+    max_local_continue_s: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    committed: bool = False
+    aborted: bool = False
+
+    @property
+    def coordination_overhead_s(self) -> float:
+        """§6: latency minus the (parallel) local operations."""
+        return self.latency_s - self.max_local_op_s
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages_sent + self.messages_received

@@ -1,0 +1,76 @@
+"""Checkpoint image storage on the network-accessible filesystem.
+
+Zap "relies on a network-accessible file system that is accessible from any
+machine on which the application may be restarted" (§2). The store pickles
+images into the cluster's shared filesystem so any node can restart any pod,
+and keeps a version history per pod for rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CheckpointError
+from repro.simos.filesystem import SharedFileSystem
+from repro.zap.image import CheckpointImage, freeze_object, thaw_object
+
+
+class ImageStore:
+    """Versioned checkpoint images in the shared filesystem."""
+
+    def __init__(self, fs: SharedFileSystem, root: str = "/checkpoints"):
+        self.fs = fs
+        self.root = root
+        self._versions: Dict[str, int] = {}
+
+    def _path(self, pod_name: str, version: int) -> str:
+        return f"{self.root}/{pod_name}/v{version:06d}.img"
+
+    def save(self, image: CheckpointImage) -> int:
+        """Persist an image; returns its version number."""
+        version = self._versions.get(image.pod_name, 0) + 1
+        self._versions[image.pod_name] = version
+        path = self._path(image.pod_name, version)
+        blob = freeze_object(image)
+        self.fs.create(path)
+        self.fs.write_at(path, 0, blob)
+        return version
+
+    def load(self, pod_name: str,
+             version: Optional[int] = None) -> CheckpointImage:
+        if version is None:
+            version = self.latest_version(pod_name)
+        path = self._path(pod_name, version)
+        if not self.fs.exists(path):
+            raise CheckpointError(
+                f"no checkpoint v{version} for pod {pod_name!r}")
+        blob = self.fs.read_at(path, 0, self.fs.size(path))
+        return thaw_object(blob)
+
+    def latest_version(self, pod_name: str) -> int:
+        version = self._versions.get(pod_name, 0)
+        if version == 0:
+            raise CheckpointError(f"no checkpoints for pod {pod_name!r}")
+        return version
+
+    def versions(self, pod_name: str) -> List[int]:
+        return list(range(1, self._versions.get(pod_name, 0) + 1))
+
+    def discard(self, pod_name: str, version: int) -> None:
+        """Drop an uncommitted image (aborted round)."""
+        path = self._path(pod_name, version)
+        if self.fs.exists(path):
+            self.fs.unlink(path)
+        if self._versions.get(pod_name) == version:
+            self._versions[pod_name] = version - 1
+
+    def prune(self, pod_name: str, keep: int = 1) -> int:
+        """Delete all but the newest ``keep`` versions; returns removed."""
+        latest = self._versions.get(pod_name, 0)
+        removed = 0
+        for version in range(1, latest - keep + 1):
+            path = self._path(pod_name, version)
+            if self.fs.exists(path):
+                self.fs.unlink(path)
+                removed += 1
+        return removed

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Cruz reproduction.
+
+Every layer raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class NetworkError(ReproError):
+    """Link/switch/NIC level failure (bad frame, unknown device, ...)."""
+
+
+class TcpError(NetworkError):
+    """TCP protocol violation or misuse of a connection object."""
+
+
+class ConnectionResetError_(TcpError):
+    """The peer reset the connection (RST received)."""
+
+
+class SyscallError(ReproError):
+    """A simulated system call failed.
+
+    Carries a Unix-style ``errno`` name (e.g. ``"EBADF"``) so application
+    programs can dispatch on it the way real code dispatches on errno.
+    """
+
+    def __init__(self, errno, message=""):
+        super().__init__(f"{errno}: {message}" if message else errno)
+        self.errno = errno
+
+
+class CheckpointError(ReproError):
+    """Single-node (pod) checkpoint or restart failed."""
+
+
+class CoordinationError(ReproError):
+    """The distributed checkpoint/restart protocol failed or timed out."""
+
+
+class PodError(ReproError):
+    """Pod management failure (unknown pod, double attach, ...)."""

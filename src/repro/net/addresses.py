@@ -1,0 +1,107 @@
+"""MAC and IPv4 address value types.
+
+Addresses are immutable and hashable so they can key ARP caches, switch
+learning tables, and connection demux maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value < 1 << 48:
+            raise NetworkError(f"MAC out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise NetworkError(f"bad MAC {text!r}")
+        return cls(int("".join(parts), 16))
+
+    @classmethod
+    def ordinal(cls, index: int, prefix: int = 0x02_00_00) -> "MacAddress":
+        """Deterministically numbered locally-administered MAC."""
+        return cls((prefix << 24) | index)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == (1 << 48) - 1
+
+    def __str__(self) -> str:
+        raw = f"{self.value:012x}"
+        return ":".join(raw[i:i + 2] for i in range(0, 12, 2))
+
+
+BROADCAST_MAC = MacAddress((1 << 48) - 1)
+
+
+@dataclass(frozen=True, order=True)
+class Ipv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value < 1 << 32:
+            raise NetworkError(f"IPv4 out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise NetworkError(f"bad IPv4 {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise NetworkError(f"bad IPv4 {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def in_subnet(self, network: "Ipv4Address", prefix_len: int) -> bool:
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len \
+            else 0
+        return (self.value & mask) == (network.value & mask)
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF)
+                        for shift in (24, 16, 8, 0))
+
+
+ANY_IP = Ipv4Address(0)
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An IPv4 subnet with a deterministic host-address allocator."""
+
+    network: Ipv4Address
+    prefix_len: int
+
+    def __contains__(self, address: Ipv4Address) -> bool:
+        return address.in_subnet(self.network, self.prefix_len)
+
+    def host(self, index: int) -> Ipv4Address:
+        size = 1 << (32 - self.prefix_len)
+        if not 0 < index < size - 1:
+            raise NetworkError(f"host index {index} outside subnet")
+        return Ipv4Address(self.network.value + index)
+
+    def hosts(self, start: int = 1) -> Iterator[Ipv4Address]:
+        size = 1 << (32 - self.prefix_len)
+        for index in range(start, size - 1):
+            yield self.host(index)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"

@@ -1,0 +1,96 @@
+"""Packet capture: a tcpdump-style tap on links.
+
+Attach a :class:`PacketCapture` to any :class:`~repro.net.link.Link` to
+record every frame that crosses it (including dropped ones, marked as
+such) — the tool that makes "why did this connection stall" questions
+answerable in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.link import Link
+from repro.net.packet import (
+    ArpPacket,
+    EthernetFrame,
+    IpPacket,
+    TcpSegment,
+    UdpDatagram,
+)
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    time: float
+    frame: EthernetFrame
+    dropped: bool
+    link: str
+
+    def describe(self) -> str:
+        payload = self.frame.payload
+        drop = " [DROPPED]" if self.dropped else ""
+        if isinstance(payload, ArpPacket):
+            body = (f"ARP op={payload.operation} "
+                    f"{payload.sender_ip} -> {payload.target_ip}")
+        elif isinstance(payload, IpPacket):
+            inner = payload.payload
+            if isinstance(inner, TcpSegment):
+                body = f"{payload.src} -> {payload.dst} {inner.describe()}"
+            elif isinstance(inner, UdpDatagram):
+                body = (f"UDP {payload.src}:{inner.src_port} -> "
+                        f"{payload.dst}:{inner.dst_port} "
+                        f"len={inner.size}")
+            else:
+                body = f"IP {payload.src} -> {payload.dst}"
+        else:
+            body = "?"
+        return f"{self.time*1000:10.3f} ms  {self.link:<18} {body}{drop}"
+
+
+class PacketCapture:
+    """Records traffic on one or more links."""
+
+    def __init__(self,
+                 predicate: Optional[Callable[[EthernetFrame], bool]]
+                 = None, max_frames: int = 100_000):
+        self.predicate = predicate
+        self.max_frames = max_frames
+        self.frames: List[CapturedFrame] = []
+        self._links: List[Link] = []
+
+    def attach(self, link: Link) -> None:
+        """Wrap the link's send path to record every frame."""
+        self._links.append(link)
+        original_send = link.send
+        capture = self
+
+        def tapped_send(frame: EthernetFrame, source) -> None:
+            dropped_before = link.frames_dropped
+            original_send(frame, source)
+            dropped = link.frames_dropped > dropped_before
+            if capture.predicate is None or capture.predicate(frame):
+                if len(capture.frames) < capture.max_frames:
+                    capture.frames.append(CapturedFrame(
+                        time=link.sim.now, frame=frame,
+                        dropped=dropped, link=link.name))
+
+        link.send = tapped_send
+
+    def tcp_segments(self):
+        """Iterate (record, ip_packet, tcp_segment) for TCP frames."""
+        for record in self.frames:
+            payload = record.frame.payload
+            if isinstance(payload, IpPacket) and \
+                    isinstance(payload.payload, TcpSegment):
+                yield record, payload, payload.payload
+
+    def dropped_count(self) -> int:
+        return sum(1 for record in self.frames if record.dropped)
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [record.describe() for record in self.frames[:limit]]
+        if len(self.frames) > limit:
+            lines.append(f"... {len(self.frames) - limit} more frames")
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""DHCP: message formats, a server, and lease bookkeeping.
+
+The paper's §4.2 relies on one subtle DHCP property: the server identifies a
+client by the hardware address carried **in the request payload** (chaddr),
+not by the Ethernet source of the frame. Cruz exploits this by having the
+pod's DHCP client embed a *fake* MAC that migrates with the pod, so the lease
+(and hence the pod's IP) survives a move to a NIC with a different real MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import NetworkError
+from repro.net.addresses import Ipv4Address, MacAddress
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+
+DISCOVER = "DISCOVER"
+OFFER = "OFFER"
+REQUEST = "REQUEST"
+ACK = "ACK"
+NAK = "NAK"
+RELEASE = "RELEASE"
+
+
+@dataclass(frozen=True)
+class DhcpMessage:
+    """A simplified DHCP message (the fields the protocol logic needs)."""
+
+    kind: str
+    xid: int
+    chaddr: MacAddress
+    yiaddr: Optional[Ipv4Address] = None
+    requested_ip: Optional[Ipv4Address] = None
+    lease_s: float = 0.0
+    server_id: str = ""
+
+    @property
+    def size(self) -> int:
+        return 300  # typical BOOTP payload size
+
+
+@dataclass
+class Lease:
+    """An address binding held by a client hardware address."""
+
+    ip: Ipv4Address
+    chaddr: MacAddress
+    expires_at: float
+
+
+class DhcpServer:
+    """A lease-granting DHCP server.
+
+    Transport-agnostic: the host's UDP layer delivers messages through
+    :meth:`handle` and the server replies via the ``send`` callable it was
+    constructed with (``send(message, dst_ip, dst_port)``; replies to clients
+    without an address yet are broadcast by the transport).
+    """
+
+    def __init__(self, name: str, pool: Iterator[Ipv4Address],
+                 send: Callable[[DhcpMessage, Optional[Ipv4Address]], None],
+                 clock: Callable[[], float],
+                 default_lease_s: float = 3600.0):
+        self.name = name
+        self._pool = pool
+        self._send = send
+        self._clock = clock
+        self.default_lease_s = default_lease_s
+        self.leases: Dict[MacAddress, Lease] = {}
+        self._reserved: Dict[MacAddress, Ipv4Address] = {}
+        self._offers: Dict[MacAddress, Ipv4Address] = {}
+
+    def reserve(self, chaddr: MacAddress, ip: Ipv4Address) -> None:
+        """Statically reserve ``ip`` for ``chaddr``."""
+        self._reserved[chaddr] = ip
+
+    def _address_for(self, chaddr: MacAddress) -> Ipv4Address:
+        lease = self.leases.get(chaddr)
+        if lease is not None:
+            return lease.ip
+        if chaddr in self._reserved:
+            return self._reserved[chaddr]
+        if chaddr in self._offers:
+            return self._offers[chaddr]
+        in_use = {lease.ip for lease in self.leases.values()}
+        in_use.update(self._reserved.values())
+        in_use.update(self._offers.values())
+        for candidate in self._pool:
+            if candidate not in in_use:
+                self._offers[chaddr] = candidate
+                return candidate
+        raise NetworkError("DHCP pool exhausted")
+
+    def handle(self, message: DhcpMessage) -> None:
+        """Process one client message, emitting any reply via ``send``."""
+        if message.kind == DISCOVER:
+            ip = self._address_for(message.chaddr)
+            self._send(DhcpMessage(
+                kind=OFFER, xid=message.xid, chaddr=message.chaddr,
+                yiaddr=ip, lease_s=self.default_lease_s,
+                server_id=self.name), None)
+        elif message.kind == REQUEST:
+            wanted = message.requested_ip
+            granted = self._address_for(message.chaddr)
+            if wanted is not None and wanted != granted:
+                self._send(DhcpMessage(
+                    kind=NAK, xid=message.xid, chaddr=message.chaddr,
+                    server_id=self.name), None)
+                return
+            self._offers.pop(message.chaddr, None)
+            self.leases[message.chaddr] = Lease(
+                ip=granted, chaddr=message.chaddr,
+                expires_at=self._clock() + self.default_lease_s)
+            self._send(DhcpMessage(
+                kind=ACK, xid=message.xid, chaddr=message.chaddr,
+                yiaddr=granted, lease_s=self.default_lease_s,
+                server_id=self.name), None)
+        elif message.kind == RELEASE:
+            self.leases.pop(message.chaddr, None)
+
+    def active_lease(self, chaddr: MacAddress) -> Optional[Lease]:
+        lease = self.leases.get(chaddr)
+        if lease is None or lease.expires_at < self._clock():
+            return None
+        return lease
+
+    def expire_stale(self) -> None:
+        now = self._clock()
+        stale = [chaddr for chaddr, lease in self.leases.items()
+                 if lease.expires_at < now]
+        for chaddr in stale:
+            del self.leases[chaddr]

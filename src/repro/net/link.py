@@ -1,0 +1,89 @@
+"""Point-to-point links with bandwidth, latency, and fault injection.
+
+A link connects two :class:`Port` endpoints. Each direction is an independent
+FIFO: frames serialise at the link bandwidth and then propagate after the
+fixed latency, matching store-and-forward Ethernet behaviour closely enough
+for the paper's timing results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.packet import EthernetFrame
+from repro.sim.core import Simulator
+
+GIGABIT = 1_000_000_000.0
+
+
+class Port:
+    """One attachment point: something that can emit and accept frames."""
+
+    def __init__(self, name: str,
+                 receive: Callable[[EthernetFrame, "Port"], None]):
+        self.name = name
+        self._receive = receive
+        self.link: Optional["Link"] = None
+        self.frames_in = 0
+        self.frames_out = 0
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        self.frames_in += 1
+        self._receive(frame, self)
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        if self.link is None:
+            raise NetworkError(f"port {self.name} is not cabled")
+        self.frames_out += 1
+        self.link.send(frame, self)
+
+    def __repr__(self) -> str:
+        return f"<Port {self.name}>"
+
+
+class Link:
+    """A full-duplex cable between two ports."""
+
+    def __init__(self, sim: Simulator, a: Port, b: Port,
+                 bandwidth_bps: float = GIGABIT,
+                 latency_s: float = 5e-6,
+                 drop_fn: Optional[Callable[[EthernetFrame], bool]] = None,
+                 name: str = ""):
+        if a.link is not None or b.link is not None:
+            raise NetworkError("port already cabled")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.drop_fn = drop_fn
+        self.name = name or f"{a.name}<->{b.name}"
+        self.down = False
+        self.frames_dropped = 0
+        self._busy_until = {id(a): 0.0, id(b): 0.0}
+        a.link = self
+        b.link = self
+
+    def send(self, frame: EthernetFrame, source: Port) -> None:
+        """Queue ``frame`` for transmission from ``source``'s side."""
+        if source is self.a:
+            destination = self.b
+        elif source is self.b:
+            destination = self.a
+        else:
+            raise NetworkError(f"{source!r} is not on link {self.name}")
+        if self.down or (self.drop_fn is not None and self.drop_fn(frame)):
+            self.frames_dropped += 1
+            return
+        start = max(self.sim.now, self._busy_until[id(source)])
+        finish = start + frame.size * 8.0 / self.bandwidth_bps
+        self._busy_until[id(source)] = finish
+        arrival = finish + self.latency_s
+        self.sim.call_at(arrival, self._arrive, frame, destination)
+
+    def _arrive(self, frame: EthernetFrame, destination: Port) -> None:
+        if self.down:
+            self.frames_dropped += 1
+            return
+        destination.deliver(frame)

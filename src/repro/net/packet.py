@@ -1,0 +1,164 @@
+"""On-the-wire message formats: Ethernet, ARP, IPv4, TCP, UDP.
+
+These are plain immutable dataclasses rather than byte blobs — the simulator
+never needs real serialisation, but sizes are modelled so links can account
+for transmission time the way a gigabit NIC would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import IntFlag
+from typing import Optional, Tuple, Union
+
+from repro.net.addresses import Ipv4Address, MacAddress
+
+ETHERNET_HEADER_BYTES = 18  # dst + src + type + FCS
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+ARP_BODY_BYTES = 28
+#: Standard Ethernet MTU (IP payload budget), as in the paper's testbed.
+MTU = 1500
+#: Maximum TCP segment payload given the MTU.
+DEFAULT_MSS = MTU - IP_HEADER_BYTES - TCP_HEADER_BYTES
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_frame_ids = itertools.count(1)
+
+
+class TcpFlags(IntFlag):
+    """TCP header flags."""
+
+    NONE = 0
+    FIN = 1
+    SYN = 2
+    RST = 4
+    PSH = 8
+    ACK = 16
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A TCP segment; ``seq`` numbers the first payload byte."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    window: int
+    payload: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return TCP_HEADER_BYTES + len(self.payload)
+
+    @property
+    def seq_len(self) -> int:
+        """Sequence space consumed: payload bytes plus SYN/FIN."""
+        length = len(self.payload)
+        if self.flags & TcpFlags.SYN:
+            length += 1
+        if self.flags & TcpFlags.FIN:
+            length += 1
+        return length
+
+    def describe(self) -> str:
+        names = [flag.name for flag in TcpFlags
+                 if flag and self.flags & flag]
+        return (f"TCP {self.src_port}->{self.dst_port} "
+                f"[{'|'.join(names) or '.'}] seq={self.seq} ack={self.ack} "
+                f"len={len(self.payload)}")
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    payload: object = b""
+    payload_size: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        if self.payload_size is not None:
+            return UDP_HEADER_BYTES + self.payload_size
+        if isinstance(self.payload, (bytes, bytearray)):
+            return UDP_HEADER_BYTES + len(self.payload)
+        return UDP_HEADER_BYTES + 64
+
+
+@dataclass(frozen=True)
+class IpPacket:
+    """An IPv4 packet carrying TCP or UDP."""
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    protocol: int
+    payload: Union[TcpSegment, UdpDatagram]
+    ttl: int = 64
+
+    @property
+    def size(self) -> int:
+        return IP_HEADER_BYTES + self.payload.size
+
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An ARP request/reply (also used for gratuitous ARP announcements)."""
+
+    operation: int
+    sender_mac: MacAddress
+    sender_ip: Ipv4Address
+    target_mac: Optional[MacAddress]
+    target_ip: Ipv4Address
+
+    @property
+    def size(self) -> int:
+        return ARP_BODY_BYTES
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet frame. ``frame_id`` makes traces unambiguous."""
+
+    src: MacAddress
+    dst: MacAddress
+    ethertype: int
+    payload: Union[IpPacket, ArpPacket]
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def size(self) -> int:
+        return ETHERNET_HEADER_BYTES + self.payload.size
+
+    def with_payload(self, payload) -> "EthernetFrame":
+        return replace(self, payload=payload)
+
+
+def tcp_frame(src_mac: MacAddress, dst_mac: MacAddress,
+              src_ip: Ipv4Address, dst_ip: Ipv4Address,
+              segment: TcpSegment) -> EthernetFrame:
+    """Convenience constructor for a full TCP-in-IP-in-Ethernet frame."""
+    packet = IpPacket(src=src_ip, dst=dst_ip, protocol=PROTO_TCP,
+                      payload=segment)
+    return EthernetFrame(src=src_mac, dst=dst_mac, ethertype=ETHERTYPE_IP,
+                         payload=packet)
+
+
+def connection_key(packet: IpPacket) -> Tuple:
+    """The 4-tuple identifying a TCP connection, from the receiver's side."""
+    segment = packet.payload
+    return (packet.dst, segment.dst_port, packet.src, segment.src_port)

@@ -1,0 +1,57 @@
+"""A learning Ethernet switch.
+
+Implements source-address learning with flooding for unknown/broadcast
+destinations — all that is needed for the paper's single-subnet cluster and
+for gratuitous-ARP-driven re-learning after a pod migrates to another port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.addresses import MacAddress
+from repro.net.link import Port
+from repro.net.packet import EthernetFrame
+from repro.sim.core import Simulator
+
+
+class Switch:
+    """A store-and-forward learning switch."""
+
+    def __init__(self, sim: Simulator, name: str = "switch",
+                 forwarding_latency_s: float = 3e-6):
+        self.sim = sim
+        self.name = name
+        self.forwarding_latency_s = forwarding_latency_s
+        self.ports: List[Port] = []
+        self.table: Dict[MacAddress, Port] = {}
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+
+    def new_port(self) -> Port:
+        port = Port(f"{self.name}.p{len(self.ports)}", self._on_frame)
+        self.ports.append(port)
+        return port
+
+    def _on_frame(self, frame: EthernetFrame, ingress: Port) -> None:
+        self.table[frame.src] = ingress
+        self.sim.call_later(
+            self.forwarding_latency_s, self._forward, frame, ingress)
+
+    def _forward(self, frame: EthernetFrame, ingress: Port) -> None:
+        egress = None if frame.dst.is_broadcast else self.table.get(frame.dst)
+        if egress is not None and egress is not ingress:
+            self.frames_forwarded += 1
+            egress.transmit(frame)
+            return
+        if egress is ingress:
+            # Destination hangs off the port the frame came from; a real
+            # switch filters this, it never re-floods.
+            return
+        self.frames_flooded += 1
+        for port in self.ports:
+            if port is not ingress and port.link is not None:
+                port.transmit(frame)
+
+    def forget(self, mac: MacAddress) -> None:
+        self.table.pop(mac, None)

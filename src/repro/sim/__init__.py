@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    NORMAL,
+    SimProcess,
+    Simulator,
+    Timeout,
+    URGENT,
+)
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "NORMAL",
+    "RandomStreams",
+    "SimProcess",
+    "Simulator",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+    "URGENT",
+]

@@ -1,0 +1,358 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is deliberately small: an event queue ordered by ``(time, priority,
+sequence)``, one-shot :class:`Event` objects with success/failure callbacks,
+and generator-based :class:`SimProcess` coroutines in the style of simpy.
+
+Everything in the reproduction — NICs, the TCP engine, OS schedulers, the
+checkpoint coordinator — runs on one :class:`Simulator`. Determinism matters
+because the paper's correctness argument (§5.1) is about *arbitrary*
+interleavings; seeded runs let tests replay a specific interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority for urgent events (delivered before normal events at equal time).
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence with an optional value or exception.
+
+    An event starts *pending*, becomes *triggered* when scheduled for
+    processing, and is *processed* once its callbacks have run.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process will see the exception raised at its ``yield``.
+        """
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self._value = value
+        self._ok = True
+        sim._schedule_event(self, delay)
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    The value is a dict mapping the triggered events (possibly more than one
+    if several fire at the same instant) to their values.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in self.events:
+            if event.callbacks is not None:
+                event.callbacks.append(self._collect)
+            else:
+                self._collect(event)
+
+    def _collect(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        done = {ev: ev._value for ev in self.events
+                if ev.processed and ev._ok}
+        done[event] = event._value
+        self.succeed(done)
+
+
+class AllOf(Event):
+    """Triggers when every event in ``events`` has triggered successfully."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = 0
+        for event in self.events:
+            if event.callbacks is not None:
+                self._remaining += 1
+                event.callbacks.append(self._collect)
+            elif not event._ok:
+                self.fail(event._value)
+                return
+        if self._remaining == 0 and not self.triggered:
+            self.succeed({ev: ev._value for ev in self.events})
+
+    def _collect(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimProcess(Event):
+    """A generator-based coroutine driven by the simulator.
+
+    The generator yields :class:`Event` instances; the process resumes when
+    the yielded event triggers, receiving its value (or exception). The
+    process object is itself an event that triggers when the generator
+    returns, carrying the return value.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str = ""):
+        super().__init__(sim, name=name or getattr(
+            generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        init = Event(sim, name=f"init({self.name})")
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its current yield."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        poke = Event(self.sim, name=f"interrupt({self.name})")
+        poke._value = Interrupt(cause)
+        poke._ok = False
+        # Detach from whatever we were waiting on; the stale callback is
+        # removed so the original event cannot resume us twice.
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poke.callbacks.append(self._resume)
+        self.sim._schedule_event(poke, 0.0, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if not self.triggered:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event")
+        self._waiting_on = target
+        if target.callbacks is not None:
+            # Pending or scheduled-but-unprocessed: wait for processing.
+            target.callbacks.append(self._resume)
+        else:
+            # Already processed: resume on the next tick with its value.
+            immediate = Event(self.sim, name="chain")
+            immediate._value = target._value
+            immediate._ok = target._ok
+            immediate.callbacks.append(self._resume)
+            self.sim._schedule_event(immediate, 0.0)
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    All times are floats in **seconds** of simulated time.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event factory helpers -------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> SimProcess:
+        return SimProcess(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} < now {self._now}")
+        return self.call_later(when - self._now, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay``. Returns a cancellable event."""
+        event = Timeout(self, delay)
+        event.callbacks.append(lambda ev: fn(*args))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Best-effort cancellation: strip the callbacks of a pending event."""
+        event.callbacks = []
+
+    # -- scheduling internals --------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float,
+                        priority: int = NORMAL) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time passes ``until``."""
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: SimProcess,
+                           limit: float = 1e9) -> Any:
+        """Run until ``process`` finishes; return its value or raise."""
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: {process.name!r} cannot finish")
+            if self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for "
+                    f"{process.name!r}")
+            self.step()
+        if not process._ok:
+            raise process._value
+        return process._value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,89 @@
+"""Structured event tracing and simple time-series metrics.
+
+The benchmark harnesses reconstruct the paper's figures from traces: e.g.
+Fig 6 is a sliding-window rate computed over ``bytes-delivered`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: what happened, where, when."""
+
+    time: float
+    category: str
+    node: str
+    detail: Dict[str, Any]
+
+
+class Trace:
+    """An append-only trace with category filters and windowed aggregation."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._counters: Dict[str, int] = {}
+
+    def emit(self, time: float, category: str, node: str = "",
+             **detail: Any) -> None:
+        self._counters[category] = self._counters.get(category, 0) + 1
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, node, detail))
+
+    def count(self, category: str) -> int:
+        """Total emissions of ``category`` (counted even when disabled)."""
+        return self._counters.get(category, 0)
+
+    def select(self, category: str,
+               node: Optional[str] = None) -> Iterator[TraceRecord]:
+        for record in self.records:
+            if record.category != category:
+                continue
+            if node is not None and record.node != node:
+                continue
+            yield record
+
+    def series(self, category: str, value_key: str,
+               node: Optional[str] = None) -> List[Tuple[float, float]]:
+        """Extract ``(time, detail[value_key])`` pairs for a category."""
+        return [(r.time, float(r.detail[value_key]))
+                for r in self.select(category, node)]
+
+    def sliding_rate(self, category: str, value_key: str, window: float,
+                     t_start: float, t_end: float, step: float,
+                     node: Optional[str] = None) -> List[Tuple[float, float]]:
+        """Average rate (units/second) over a trailing window.
+
+        This mirrors the paper's Fig 6 methodology: "the average rate
+        measured in the receiver during a sliding window of 10 ms duration
+        previous to the corresponding point".
+        """
+        points = self.series(category, value_key, node)
+        out: List[Tuple[float, float]] = []
+        t = t_start
+        while t <= t_end + 1e-12:
+            total = 0.0
+            for when, value in points:
+                if t - window < when <= t:
+                    total += value
+            out.append((t, total / window))
+            t += step
+        return out
+
+
+@dataclass
+class Counter:
+    """A labelled monotonic counter for protocol-message accounting."""
+
+    name: str
+    value: int = 0
+    by_label: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, amount: int = 1, label: str = "") -> None:
+        self.value += amount
+        if label:
+            self.by_label[label] = self.by_label.get(label, 0) + amount

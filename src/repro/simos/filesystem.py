@@ -1,0 +1,63 @@
+"""A network-accessible shared filesystem.
+
+Zap deliberately does not checkpoint filesystem state; it assumes "a
+network-accessible file system that is accessible from any machine on which
+the application may be restarted" (§2). One :class:`SharedFileSystem`
+instance is therefore shared by every node in a simulated cluster, and the
+checkpoint image store writes into it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import SyscallError
+
+
+class SharedFileSystem:
+    """Path → bytes, visible from every node."""
+
+    def __init__(self):
+        self._files: Dict[str, bytearray] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def create(self, path: str, truncate: bool = True) -> None:
+        if truncate or path not in self._files:
+            self._files[path] = bytearray()
+
+    def unlink(self, path: str) -> None:
+        if path not in self._files:
+            raise SyscallError("ENOENT", path)
+        del self._files[path]
+
+    def size(self, path: str) -> int:
+        if path not in self._files:
+            raise SyscallError("ENOENT", path)
+        return len(self._files[path])
+
+    def read_at(self, path: str, offset: int, nbytes: int) -> bytes:
+        if path not in self._files:
+            raise SyscallError("ENOENT", path)
+        data = bytes(self._files[path][offset:offset + nbytes])
+        self.bytes_read += len(data)
+        return data
+
+    def write_at(self, path: str, offset: int, data: bytes) -> int:
+        if path not in self._files:
+            raise SyscallError("ENOENT", path)
+        blob = self._files[path]
+        if offset > len(blob):
+            blob.extend(b"\x00" * (offset - len(blob)))
+        blob[offset:offset + len(data)] = data
+        self.bytes_written += len(data)
+        return len(data)
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def paths(self) -> Iterator[str]:
+        return iter(sorted(self._files))

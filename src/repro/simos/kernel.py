@@ -1,0 +1,726 @@
+"""The per-node kernel: processes, syscall dispatch, scheduling.
+
+A :class:`Node` owns one :class:`~repro.simos.netstack.NetworkStack`, an IPC
+namespace, a CPU pool, and a process table. Application programs run as
+explicit state machines; the kernel drives each through a simulation
+coroutine that executes its syscalls, blocking on events where Unix would
+block.
+
+The Zap layer hooks in through ``interposer_for``: if the owning pod
+provides an interposer, every syscall is passed through it for rewriting
+(bind/connect/ioctl, §4.2) and every result for translation (virtual PIDs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, Union
+
+from repro.errors import SyscallError
+from repro.net.addresses import ANY_IP, Ipv4Address
+from repro.net.nic import Nic
+from repro.sim.core import Interrupt, SimProcess, Simulator
+from repro.sim.resources import Resource
+from repro.sim.trace import Trace
+from repro.simos.costs import CostModel, DEFAULT_COSTS
+from repro.simos.files import (
+    Descriptor,
+    Pipe,
+    RegularFile,
+    WouldBlock,
+)
+from repro.simos.filesystem import SharedFileSystem
+from repro.simos.ipc import IpcNamespace
+from repro.simos.netstack import NetworkStack
+from repro.simos.process import (
+    ProcessControlBlock,
+    ProcessState,
+    SIGKILL,
+)
+from repro.simos.program import Program
+from repro.simos.sockets import TcpSocket, UdpSocket
+from repro.simos.syscalls import (
+    Exit,
+    MSG_DONTWAIT,
+    SIOCGIFHWADDR,
+    Syscall,
+)
+
+
+def as_ip(value: Union[str, Ipv4Address, None]) -> Ipv4Address:
+    if value is None:
+        return ANY_IP
+    if isinstance(value, Ipv4Address):
+        return value
+    return Ipv4Address.parse(value)
+
+
+class SyscallInterposer:
+    """Interface the Zap layer implements to wrap the syscall table."""
+
+    def rewrite(self, proc: ProcessControlBlock,
+                call: Syscall) -> Syscall:
+        return call
+
+    def translate_result(self, proc: ProcessControlBlock, call: Syscall,
+                         result: Any) -> Any:
+        return result
+
+
+class Node:
+    """One machine of the cluster."""
+
+    def __init__(self, sim: Simulator, name: str, nic: Nic,
+                 fs: SharedFileSystem, costs: CostModel = DEFAULT_COSTS,
+                 trace: Optional[Trace] = None, cpus: int = 2,
+                 time_wait_s: float = 60.0, iss_seed: int = 1):
+        self.sim = sim
+        self.name = name
+        self.fs = fs
+        self.costs = costs
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.stack = NetworkStack(sim, name, nic, time_wait_s=time_wait_s,
+                                  iss_seed=iss_seed)
+        self.ipc = IpcNamespace(sim)
+        self.cpu = Resource(sim, cpus, name=f"{name}.cpu")
+        self.processes: Dict[int, ProcessControlBlock] = {}
+        self._next_pid = 1
+        self._tasks: Dict[int, SimProcess] = {}
+        self._handlers: Dict[str, Callable] = {
+            name[len("_sys_"):]: getattr(self, name)
+            for name in dir(self) if name.startswith("_sys_")}
+        #: pod_id -> interposer; registered by the Zap layer.
+        self.interposers: Dict[int, SyscallInterposer] = {}
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def allocate_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def reserve_pid(self, pid: int) -> None:
+        """Force the allocator past ``pid`` (used by tests simulating
+        pid-collision scenarios)."""
+        self._next_pid = max(self._next_pid, pid + 1)
+
+    def spawn(self, program: Program, name: str = "", pod=None,
+              ppid: int = 0, pid: Optional[int] = None,
+              resume_syscall: Optional[Syscall] = None,
+              tgid: Optional[int] = None) -> ProcessControlBlock:
+        """Create a process and start running it."""
+        if pid is None:
+            pid = self.allocate_pid()
+        elif pid in self.processes:
+            raise SyscallError("EEXIST", f"pid {pid} in use")
+        else:
+            self.reserve_pid(pid)
+        proc = ProcessControlBlock(self.sim, pid, program, name=name,
+                                   ppid=ppid, tgid=tgid)
+        proc.resume_syscall = resume_syscall
+        if pod is not None:
+            proc.pod = pod
+        self.processes[pid] = proc
+        task = self.sim.process(self._loop(proc), name=f"{self.name}:pid"
+                                                       f"{pid}")
+        self._tasks[pid] = task
+        return proc
+
+    def kill(self, pid: int, sig: str) -> None:
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise SyscallError("ESRCH", f"pid {pid}")
+        self.sim.call_later(self.costs.signal_delivery,
+                            self._deliver_signal, proc, sig)
+
+    def signal_now(self, pid: int, sig: str) -> None:
+        """Immediate (same-instant) signal delivery, used by the kernel
+        itself (e.g. the checkpoint path stopping a pod)."""
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise SyscallError("ESRCH", f"pid {pid}")
+        self._deliver_signal(proc, sig)
+
+    def _deliver_signal(self, proc: ProcessControlBlock, sig: str) -> None:
+        proc.signal(sig)
+        if sig in (SIGKILL, "SIGTERM"):
+            task = self._tasks.get(proc.pid)
+            if task is not None and task.is_alive:
+                task.interrupt("killed")
+
+    def reap(self, pid: int) -> None:
+        """Remove a zombie (or force-remove any process record)."""
+        proc = self.processes.pop(pid, None)
+        self._tasks.pop(pid, None)
+        if proc is not None and proc.exit_code is None:
+            proc.mark_exited(-9)
+
+    def interposer_for(
+            self, proc: ProcessControlBlock) -> Optional[SyscallInterposer]:
+        if proc.pod is None:
+            return None
+        return self.interposers.get(proc.pod.pod_id)
+
+    # ------------------------------------------------------------------
+    # The process execution loop
+    # ------------------------------------------------------------------
+
+    def _stop_gate(self, proc: ProcessControlBlock) -> Generator:
+        while proc.stopped and not proc.killed:
+            proc.state = ProcessState.STOPPED
+            yield proc.wait_continue()
+        if not proc.killed:
+            proc.state = ProcessState.RUNNABLE
+
+    def _loop(self, proc: ProcessControlBlock) -> Generator:
+        result: Any = proc.initial_result
+        call: Optional[Syscall] = proc.resume_syscall
+        proc.resume_syscall = None
+        exit_code = 0
+        try:
+            while True:
+                yield from self._stop_gate(proc)
+                if proc.killed:
+                    exit_code = -9
+                    break
+                if call is None:
+                    try:
+                        step = proc.program.step(result)
+                    except Exception as exc:  # noqa: BLE001 - app crash
+                        # An application bug kills the process, not the
+                        # node (the kernel survives a segfault).
+                        proc.crash_exception = exc
+                        self.trace.emit(
+                            self.sim.now, "proc_crash", node=self.name,
+                            pid=proc.pid, error=repr(exc))
+                        exit_code = -11  # SIGSEGV-style
+                        break
+                    if isinstance(step, Exit):
+                        exit_code = step.code
+                        break
+                    call = step
+                proc.current_syscall = call
+                proc.syscall_count += 1
+                try:
+                    result = yield from self._execute(proc, call)
+                except SyscallError as err:
+                    result = err
+                proc.current_syscall = None
+                call = None
+        except Interrupt:
+            exit_code = -9
+        finally:
+            self._cleanup(proc)
+        proc.mark_exited(exit_code)
+        return exit_code
+
+    def _cleanup(self, proc: ProcessControlBlock) -> None:
+        for fd in proc.fds.fds():
+            try:
+                self._close_descriptor(proc.fds.remove(fd))
+            except SyscallError:
+                pass
+
+    def _close_descriptor(self, descriptor: Descriptor) -> None:
+        obj = descriptor.obj
+        if isinstance(obj, Pipe):
+            if "r" in descriptor.mode:
+                obj.close_side("r")
+            if "w" in descriptor.mode:
+                obj.close_side("w")
+        elif isinstance(obj, (TcpSocket, UdpSocket)):
+            obj.close()
+
+    def _execute(self, proc: ProcessControlBlock,
+                 call: Syscall) -> Generator:
+        interposer = self.interposer_for(proc)
+        if interposer is not None:
+            call = interposer.rewrite(proc, call)
+        handler = self._handlers.get(call.name)
+        if handler is None:
+            raise SyscallError("ENOSYS", call.name)
+        cost = self.costs.syscall_time
+        if interposer is not None:
+            cost += self.costs.pod_syscall_overhead
+        yield self.sim.timeout(cost)
+        result = yield from handler(proc, call)
+        if interposer is not None:
+            result = interposer.translate_result(proc, call, result)
+        return result
+
+    def _blocking(self, proc: ProcessControlBlock, attempt: Callable,
+                  wait: Callable) -> Generator:
+        """Run ``attempt`` until it stops raising WouldBlock."""
+        while True:
+            try:
+                return attempt()
+            except WouldBlock:
+                proc.state = ProcessState.BLOCKED
+                yield wait()
+                yield from self._stop_gate(proc)
+                if proc.killed:
+                    raise SyscallError("EINTR", "killed")
+
+    # ------------------------------------------------------------------
+    # fd helpers
+    # ------------------------------------------------------------------
+
+    def _descriptor(self, proc: ProcessControlBlock, fd: int) -> Descriptor:
+        return proc.fds.get(fd)
+
+    def _tcp_socket(self, proc: ProcessControlBlock, fd: int) -> TcpSocket:
+        obj = self._descriptor(proc, fd).obj
+        if not isinstance(obj, TcpSocket):
+            raise SyscallError("ENOTSOCK", f"fd {fd}")
+        return obj
+
+    def _udp_socket(self, proc: ProcessControlBlock, fd: int) -> UdpSocket:
+        obj = self._descriptor(proc, fd).obj
+        if not isinstance(obj, UdpSocket):
+            raise SyscallError("ENOTSOCK", f"fd {fd}")
+        return obj
+
+    # ------------------------------------------------------------------
+    # Syscall handlers. Each is a generator: ``yield`` to block, ``return``
+    # the result.
+    # ------------------------------------------------------------------
+
+    # -- time & CPU ------------------------------------------------------
+
+    def _sys_compute(self, proc, call) -> Generator:
+        (seconds,) = call.args
+        grant = self.cpu.request()
+        try:
+            yield grant
+        except BaseException:
+            # Killed while queued for a CPU: withdraw the request so the
+            # slot is never granted to a dead process.
+            self.cpu.cancel(grant)
+            raise
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self.cpu.release()
+        proc.cpu_seconds += seconds
+        return None
+
+    def _sys_sleep(self, proc, call) -> Generator:
+        (seconds,) = call.args
+        yield self.sim.timeout(seconds)
+        return None
+
+    def _sys_gettime(self, proc, call) -> Generator:
+        return self.sim.now
+        yield  # pragma: no cover - makes this a generator
+
+    # -- identity ----------------------------------------------------------
+
+    def _sys_getpid(self, proc, call) -> Generator:
+        return proc.pid
+        yield  # pragma: no cover
+
+    def _sys_getppid(self, proc, call) -> Generator:
+        return proc.ppid
+        yield  # pragma: no cover
+
+    # -- process control ---------------------------------------------------
+
+    def _sys_spawn(self, proc, call) -> Generator:
+        (program,) = call.args
+        name = call.kwargs.get("name", "")
+        child = self.spawn(program, name=name, pod=proc.pod,
+                           ppid=proc.pid)
+        for fd in call.kwargs.get("inherit_fds", ()):
+            descriptor = proc.fds.get(fd)
+            child.fds.install_at(
+                fd, Descriptor(descriptor.obj, descriptor.mode))
+            if isinstance(descriptor.obj, Pipe):
+                if "r" in descriptor.mode:
+                    descriptor.obj.readers += 1
+                if "w" in descriptor.mode:
+                    descriptor.obj.writers += 1
+        if proc.pod is not None:
+            proc.pod.adopt(child)
+        return child.pid
+        yield  # pragma: no cover
+
+    def _sys_fork(self, proc, call) -> Generator:
+        """fork() — duplicate the calling process.
+
+        The parent's step receives ``("parent", child_pid)``; the child —
+        a deep copy of the program, memory accounting and descriptor
+        table — receives ``("child", 0)`` as its first result. Sockets
+        and pipes are shared objects, as on Unix.
+        """
+        import copy
+        child_program = copy.deepcopy(proc.program)
+        child = self.spawn(child_program, name=proc.name, pod=proc.pod,
+                           ppid=proc.pid)
+        child.initial_result = ("child", 0)
+        child.memory = proc.memory.snapshot()
+        for fd, descriptor in proc.fds.items():
+            child.fds.install_at(
+                fd, Descriptor(descriptor.obj, descriptor.mode))
+            if isinstance(descriptor.obj, Pipe):
+                if "r" in descriptor.mode:
+                    descriptor.obj.readers += 1
+                if "w" in descriptor.mode:
+                    descriptor.obj.writers += 1
+        if proc.pod is not None:
+            proc.pod.adopt(child)
+        return ("parent", child.pid)
+        yield  # pragma: no cover
+
+    def _sys_kill(self, proc, call) -> Generator:
+        pid, sig = call.args
+        self.kill(pid, sig)
+        return None
+        yield  # pragma: no cover
+
+    def _sys_waitpid(self, proc, call) -> Generator:
+        (pid,) = call.args
+        target = self.processes.get(pid)
+        if target is None:
+            raise SyscallError("ECHILD", f"pid {pid}")
+        code = yield target.exit_event
+        return code
+
+    def _sys_log(self, proc, call) -> Generator:
+        (message,) = call.args
+        self.trace.emit(self.sim.now, "app", node=self.name,
+                        pid=proc.pid, message=message,
+                        **call.kwargs)
+        return None
+        yield  # pragma: no cover
+
+    # -- memory accounting ---------------------------------------------------
+
+    def _sys_mmap(self, proc, call) -> Generator:
+        name, nbytes = call.args
+        proc.memory.allocate(name, nbytes)
+        return None
+        yield  # pragma: no cover
+
+    def _sys_munmap(self, proc, call) -> Generator:
+        (name,) = call.args
+        proc.memory.free(name)
+        return None
+        yield  # pragma: no cover
+
+    def _sys_mtouch(self, proc, call) -> Generator:
+        (name,) = call.args
+        proc.memory.touch(name, call.kwargs.get("fraction", 1.0))
+        return None
+        yield  # pragma: no cover
+
+    # -- pipes and files -----------------------------------------------------
+
+    def _sys_pipe(self, proc, call) -> Generator:
+        pipe = Pipe(self.sim)
+        rfd = proc.fds.install(Descriptor(pipe, mode="r"))
+        wfd = proc.fds.install(Descriptor(pipe, mode="w"))
+        return (rfd, wfd)
+        yield  # pragma: no cover
+
+    def _sys_open(self, proc, call) -> Generator:
+        path, mode = call.args
+        regular = RegularFile(self.sim, self.fs, path, mode)
+        return proc.fds.install(Descriptor(regular, mode=mode))
+        yield  # pragma: no cover
+
+    def _sys_read(self, proc, call) -> Generator:
+        fd, nbytes = call.args
+        descriptor = self._descriptor(proc, fd)
+        obj = descriptor.obj
+        if isinstance(obj, RegularFile):
+            return obj.read(nbytes)
+        if isinstance(obj, Pipe):
+            if "r" not in descriptor.mode:
+                raise SyscallError("EBADF", "not open for reading")
+            result = yield from self._blocking(
+                proc, lambda: obj.read(nbytes), obj.wait_readable)
+            return result
+        raise SyscallError("EBADF", f"fd {fd} not readable")
+
+    def _sys_write(self, proc, call) -> Generator:
+        fd, data = call.args
+        descriptor = self._descriptor(proc, fd)
+        obj = descriptor.obj
+        if isinstance(obj, RegularFile):
+            if data:
+                # Stable-storage writes pay disk latency + bandwidth (the
+                # message-logging baseline's overhead is exactly this).
+                yield self.sim.timeout(
+                    self.costs.disk_op_latency +
+                    len(data) / self.costs.disk_write_bandwidth)
+            return obj.write(data)
+        if isinstance(obj, Pipe):
+            if "w" not in descriptor.mode:
+                raise SyscallError("EBADF", "not open for writing")
+            result = yield from self._blocking(
+                proc, lambda: obj.write(data), obj.wait_writable)
+            return result
+        raise SyscallError("EBADF", f"fd {fd} not writable")
+
+    def _sys_seek(self, proc, call) -> Generator:
+        fd, offset = call.args
+        obj = self._descriptor(proc, fd).obj
+        if not isinstance(obj, RegularFile):
+            raise SyscallError("ESPIPE", f"fd {fd}")
+        return obj.seek(offset)
+        yield  # pragma: no cover
+
+    def _sys_unlink(self, proc, call) -> Generator:
+        (path,) = call.args
+        self.fs.unlink(path)
+        return None
+        yield  # pragma: no cover
+
+    def _sys_close(self, proc, call) -> Generator:
+        (fd,) = call.args
+        self._close_descriptor(proc.fds.remove(fd))
+        return None
+        yield  # pragma: no cover
+
+    # -- sockets ---------------------------------------------------------
+
+    def _sys_socket(self, proc, call) -> Generator:
+        kind = call.args[0] if call.args else "tcp"
+        if kind == "tcp":
+            sock: Any = TcpSocket(self.sim, self.stack)
+        elif kind == "udp":
+            sock = UdpSocket(self.sim, self.stack)
+        else:
+            raise SyscallError("EINVAL", f"socket type {kind}")
+        return proc.fds.install(Descriptor(sock))
+        yield  # pragma: no cover
+
+    def _sys_bind(self, proc, call) -> Generator:
+        fd, ip, port = call.args
+        obj = self._descriptor(proc, fd).obj
+        if isinstance(obj, (TcpSocket, UdpSocket)):
+            obj.bind(as_ip(ip), port)
+            return None
+        raise SyscallError("ENOTSOCK", f"fd {fd}")
+        yield  # pragma: no cover
+
+    def _sys_listen(self, proc, call) -> Generator:
+        fd = call.args[0]
+        backlog = call.args[1] if len(call.args) > 1 else 16
+        self._tcp_socket(proc, fd).listen(backlog)
+        return None
+        yield  # pragma: no cover
+
+    def _sys_accept(self, proc, call) -> Generator:
+        (fd,) = call.args
+        sock = self._tcp_socket(proc, fd)
+        if sock.listener is None:
+            raise SyscallError("EINVAL", "accept on non-listening socket")
+        connection = yield sock.listener.accept()
+        yield from self._stop_gate(proc)
+        child = TcpSocket(self.sim, self.stack)
+        child.adopt(connection)
+        newfd = proc.fds.install(Descriptor(child))
+        tcb = connection.tcb
+        return (newfd, (str(tcb.remote_ip), tcb.remote_port))
+
+    def _sys_connect(self, proc, call) -> Generator:
+        fd, ip, port = call.args
+        sock = self._tcp_socket(proc, fd)
+        bind_ip = call.kwargs.get("bind_ip")
+        if bind_ip is not None and sock.bound is None:
+            # The Zap connect wrapper: "invokes bind prior to the original
+            # function" so the socket originates from the pod's VIF (§4.2).
+            local_ip = as_ip(bind_ip)
+            sock.bind(local_ip, self.stack.tcp.allocate_port(local_ip))
+        connection = sock.start_connect(as_ip(ip), port)
+        try:
+            yield connection.established_event
+        except Exception as exc:  # refused (RST) or handshake timeout
+            sock.connection = None
+            raise SyscallError("ECONNREFUSED", str(exc))
+        yield from self._stop_gate(proc)
+        return None
+
+    def _sys_send(self, proc, call) -> Generator:
+        fd, data = call.args
+        flags = call.kwargs.get("flags", 0)
+        sock = self._tcp_socket(proc, fd)
+        if flags & MSG_DONTWAIT:
+            try:
+                return sock.send(data)
+            except WouldBlock:
+                raise SyscallError("EAGAIN", "send would block")
+        result = yield from self._blocking(
+            proc, lambda: sock.send(data), sock.wait_writable)
+        return result
+
+    def _sys_recv(self, proc, call) -> Generator:
+        fd, max_bytes = call.args
+        flags = call.kwargs.get("flags", 0)
+        sock = self._tcp_socket(proc, fd)
+        if flags & MSG_DONTWAIT:
+            try:
+                return sock.recv(max_bytes, flags)
+            except WouldBlock:
+                raise SyscallError("EAGAIN", "recv would block")
+        result = yield from self._blocking(
+            proc, lambda: sock.recv(max_bytes, flags), sock.wait_readable)
+        return result
+
+    def _sys_sendto(self, proc, call) -> Generator:
+        fd, payload, ip, port = call.args
+        sock = self._udp_socket(proc, fd)
+        sock.sendto(payload, as_ip(ip), port,
+                    src_ip=call.kwargs.get("src_ip"),
+                    payload_size=call.kwargs.get("size"))
+        return None
+        yield  # pragma: no cover
+
+    def _sys_recvfrom(self, proc, call) -> Generator:
+        (fd,) = call.args
+        sock = self._udp_socket(proc, fd)
+        result = yield from self._blocking(
+            proc, sock.recvfrom, sock.wait_readable)
+        payload, src_ip, src_port = result
+        return (payload, str(src_ip), src_port)
+
+    def _sys_poll(self, proc, call) -> Generator:
+        """poll(fds, timeout=None) -> list of fds readable right now.
+
+        A socket is "readable" when data (or a pending accept, or EOF)
+        is available; a pipe when it has bytes or its writers are gone.
+        ``timeout`` of None blocks until something is ready; a number
+        bounds the wait (0 = pure poll).
+        """
+        (fds,) = call.args
+        timeout = call.kwargs.get("timeout")
+
+        def ready_now():
+            ready = []
+            for fd in fds:
+                obj = self._descriptor(proc, fd).obj
+                if isinstance(obj, TcpSocket):
+                    if obj.recv_available() > 0:
+                        ready.append(fd)
+                    elif obj.listener is not None and \
+                            obj.listener.accept_queue:
+                        ready.append(fd)
+                    elif obj.connection is not None and (
+                            obj.connection.peer_closed or
+                            obj.connection.state.value in
+                            ("CLOSED", "TIME_WAIT")):
+                        ready.append(fd)
+                elif isinstance(obj, UdpSocket):
+                    if obj.queue:
+                        ready.append(fd)
+                elif isinstance(obj, Pipe):
+                    if obj.buffer or obj.writers == 0:
+                        ready.append(fd)
+            return ready
+
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            ready = ready_now()
+            if ready:
+                return ready
+            if deadline is not None and self.sim.now >= deadline:
+                return []
+            proc.state = ProcessState.BLOCKED
+            waiters = []
+            for fd in fds:
+                obj = self._descriptor(proc, fd).obj
+                if isinstance(obj, TcpSocket) and obj.listener is not None:
+                    waiters.append(obj.listener.wait_pending())
+                waiters.append(obj.wait_readable())
+            if deadline is not None:
+                waiters.append(self.sim.timeout(
+                    max(0.0, deadline - self.sim.now)))
+            yield self.sim.any_of(waiters)
+            yield from self._stop_gate(proc)
+            if proc.killed:
+                raise SyscallError("EINTR", "killed")
+
+    def _sys_setsockopt(self, proc, call) -> Generator:
+        fd, option, value = call.args
+        self._tcp_socket(proc, fd).set_option(option, value)
+        return None
+        yield  # pragma: no cover
+
+    def _sys_getsockopt(self, proc, call) -> Generator:
+        fd, option = call.args
+        return self._tcp_socket(proc, fd).get_option(option)
+        yield  # pragma: no cover
+
+    def _sys_getsockname(self, proc, call) -> Generator:
+        (fd,) = call.args
+        sock = self._tcp_socket(proc, fd)
+        if sock.connection is not None:
+            tcb = sock.connection.tcb
+            return (str(tcb.local_ip), tcb.local_port)
+        if sock.bound is not None:
+            ip, port = sock.bound
+            return (str(ip), port)
+        raise SyscallError("EINVAL", "socket has no name")
+        yield  # pragma: no cover
+
+    def _sys_getpeername(self, proc, call) -> Generator:
+        (fd,) = call.args
+        sock = self._tcp_socket(proc, fd)
+        if sock.connection is None:
+            raise SyscallError("ENOTCONN", "no peer")
+        tcb = sock.connection.tcb
+        return (str(tcb.remote_ip), tcb.remote_port)
+        yield  # pragma: no cover
+
+    # -- SysV IPC ------------------------------------------------------------
+
+    def _sys_shmget(self, proc, call) -> Generator:
+        key, size = call.args
+        return self.ipc.shmget(key, size)
+        yield  # pragma: no cover
+
+    def _sys_shm_write(self, proc, call) -> Generator:
+        shmid, field, value = call.args
+        self.ipc.shm_lookup(shmid).payload[field] = value
+        return None
+        yield  # pragma: no cover
+
+    def _sys_shm_read(self, proc, call) -> Generator:
+        shmid, field = call.args
+        return self.ipc.shm_lookup(shmid).payload.get(field)
+        yield  # pragma: no cover
+
+    def _sys_semget(self, proc, call) -> Generator:
+        key = call.args[0]
+        initial = call.args[1] if len(call.args) > 1 else 0
+        return self.ipc.semget(key, initial)
+        yield  # pragma: no cover
+
+    def _sys_semop(self, proc, call) -> Generator:
+        semid, delta = call.args
+        semaphore = self.ipc.sem_lookup(semid)
+        if not semaphore.op(delta):
+            proc.state = ProcessState.BLOCKED
+            waiter = semaphore.wait_event(delta)
+            try:
+                yield waiter
+            except BaseException:
+                semaphore.cancel_wait(waiter)
+                raise
+            yield from self._stop_gate(proc)
+        return None
+
+    # -- device control --------------------------------------------------------
+
+    def _sys_ioctl(self, proc, call) -> Generator:
+        request, arg = call.args
+        if request == SIOCGIFHWADDR:
+            interface = self.stack.interfaces.get(arg)
+            return interface.mac
+        raise SyscallError("EINVAL", f"ioctl {request}")
+        yield  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} procs={len(self.processes)}>"

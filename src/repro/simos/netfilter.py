@@ -1,0 +1,71 @@
+"""A netfilter-style packet filter.
+
+The coordinated checkpoint protocol's only OS hook (§5): "the Agent can add
+a netfilter rule which ensures that all traffic to or from the local pod is
+silently dropped". Rules are evaluated on both the input and output hooks of
+a node's IP stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpPacket
+
+INPUT = "INPUT"
+OUTPUT = "OUTPUT"
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class Rule:
+    """Drop traffic matching an address (either direction) and hook."""
+
+    ip: Optional[Ipv4Address] = None   # None matches every packet
+    hooks: tuple = (INPUT, OUTPUT)
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+    matched: int = 0
+
+    def matches(self, packet: IpPacket, hook: str) -> bool:
+        if hook not in self.hooks:
+            return False
+        if self.ip is None:
+            return True
+        return packet.src == self.ip or packet.dst == self.ip
+
+
+class Netfilter:
+    """An ordered drop-rule chain with counters."""
+
+    def __init__(self):
+        self.rules: List[Rule] = []
+        self.dropped: Dict[str, int] = {INPUT: 0, OUTPUT: 0}
+        self.passed: Dict[str, int] = {INPUT: 0, OUTPUT: 0}
+
+    def add_rule(self, rule: Rule) -> int:
+        self.rules.append(rule)
+        return rule.rule_id
+
+    def drop_all_for(self, ip: Ipv4Address) -> int:
+        """The §5 Agent rule: silently drop all traffic to/from ``ip``."""
+        return self.add_rule(Rule(ip=ip))
+
+    def remove_rule(self, rule_id: int) -> bool:
+        for index, rule in enumerate(self.rules):
+            if rule.rule_id == rule_id:
+                del self.rules[index]
+                return True
+        return False
+
+    def allows(self, packet: IpPacket, hook: str) -> bool:
+        for rule in self.rules:
+            if rule.matches(packet, hook):
+                rule.matched += 1
+                self.dropped[hook] += 1
+                return False
+        self.passed[hook] += 1
+        return True

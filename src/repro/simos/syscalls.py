@@ -1,0 +1,56 @@
+"""System-call descriptors.
+
+Programs interact with the simulated kernel exclusively by returning
+:class:`Syscall` objects from :meth:`Program.step`; the kernel executes the
+call (possibly blocking the process on a simulation event) and feeds the
+result into the next ``step``. This explicit boundary is what lets the Zap
+layer interpose on calls the way the real Zap kernel module wraps the
+syscall table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: recv flag: read without consuming (used by the checkpoint path, §4.1).
+MSG_PEEK = 0x2
+#: send/recv flag: fail with EAGAIN instead of blocking.
+MSG_DONTWAIT = 0x40
+
+#: ioctl request: get hardware (MAC) address — interposed by Cruz (§4.2).
+SIOCGIFHWADDR = 0x8927
+
+# Socket option names (setsockopt/getsockopt).
+SO_NODELAY = "TCP_NODELAY"
+SO_CORK = "TCP_CORK"
+SO_SNDBUF = "SO_SNDBUF"
+SO_RCVBUF = "SO_RCVBUF"
+SO_KEEPALIVE = "SO_KEEPALIVE"
+SO_REUSEADDR = "SO_REUSEADDR"
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """One system call: a name plus positional/keyword arguments."""
+
+    name: str
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        return f"{self.name}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Returned from ``Program.step`` to terminate the process."""
+
+    code: int = 0
+
+
+def sys(name: str, *args: Any, **kwargs: Any) -> Syscall:
+    """Shorthand constructor: ``sys("recv", fd, 4096, flags=MSG_PEEK)``."""
+    return Syscall(name, args, kwargs)

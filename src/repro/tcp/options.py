@@ -1,0 +1,40 @@
+"""Per-socket options that affect data transfer.
+
+These are part of the checkpointed socket state (§4.1 saves "various socket
+options"), and the restore path temporarily overrides Nagle/CORK so that
+re-issued sends keep the recorded packet boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.net.packet import DEFAULT_MSS
+
+#: Linux 2.4 default socket buffer sizes (approximately).
+DEFAULT_SEND_BUFFER = 64 * 1024
+DEFAULT_RECV_BUFFER = 64 * 1024
+
+
+@dataclass(frozen=True)
+class SocketOptions:
+    """TCP socket options relevant to transfer behaviour."""
+
+    nagle_enabled: bool = True       # inverse of TCP_NODELAY
+    cork: bool = False               # TCP_CORK
+    send_buffer_bytes: int = DEFAULT_SEND_BUFFER
+    recv_buffer_bytes: int = DEFAULT_RECV_BUFFER
+    mss: int = DEFAULT_MSS
+    keepalive: bool = False
+    reuse_addr: bool = False
+
+    def with_boundaries_pinned(self) -> "SocketOptions":
+        """Options for the restore path: one send == one packet.
+
+        Disables the Nagle algorithm and TCP_CORK, the two mechanisms that
+        could coalesce or split the re-issued sends (§4.1).
+        """
+        return replace(self, nagle_enabled=False, cork=False)
+
+    def set(self, **changes) -> "SocketOptions":
+        return replace(self, **changes)

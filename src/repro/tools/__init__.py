@@ -1,0 +1,17 @@
+"""Operator tooling: cluster introspection and reporting."""
+
+from repro.tools.inspect import (
+    checkpoint_report,
+    format_table,
+    netstat,
+    pod_report,
+    ps,
+)
+
+__all__ = [
+    "checkpoint_report",
+    "format_table",
+    "netstat",
+    "pod_report",
+    "ps",
+]

@@ -1,0 +1,121 @@
+"""Checkpoint image format.
+
+Images are plain-data object trees, pickled for storage in the shared
+filesystem. Every restore deep-copies out of the image, so one image can be
+restarted any number of times (and on any node) without mutation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckpointError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.simos.memory import AddressSpace
+from repro.simos.syscalls import Syscall
+
+
+def freeze_object(obj: Any) -> bytes:
+    """Serialise application state (a point-in-time copy, not a reference)."""
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # noqa: BLE001 - report what cannot checkpoint
+        raise CheckpointError(
+            f"state is not checkpointable: {exc}") from exc
+
+
+def thaw_object(blob: bytes) -> Any:
+    return pickle.loads(blob)
+
+
+@dataclass
+class PipeImage:
+    """A pipe shared by the pod's processes, with buffered bytes."""
+
+    index: int
+    buffer: bytes
+    readers: int
+    writers: int
+
+
+@dataclass
+class FdImage:
+    """One descriptor-table slot.
+
+    ``detail`` depends on ``kind``:
+
+    * ``file`` — ``{"path", "offset", "file_mode"}``
+    * ``pipe`` — ``{"pipe_index"}``
+    * ``tcp_socket`` / ``udp_socket`` — codec-defined socket image
+    """
+
+    fd: int
+    kind: str
+    mode: str
+    detail: Any
+
+
+@dataclass
+class ProcessImage:
+    """Everything needed to recreate one process."""
+
+    vpid: int
+    parent_vpid: int
+    name: str
+    program_blob: bytes
+    memory: AddressSpace
+    resume_syscall: Optional[Syscall]
+    fds: List[FdImage] = field(default_factory=list)
+    was_stopped_by_user: bool = False
+    #: Pending first-step result (a just-forked child not yet run).
+    initial_result: Optional[tuple] = None
+
+
+@dataclass
+class ShmImage:
+    vid: int
+    app_key: int
+    size: int
+    payload_blob: bytes
+
+
+@dataclass
+class SemImage:
+    vid: int
+    app_key: int
+    value: int
+
+
+@dataclass
+class CheckpointImage:
+    """A consistent snapshot of one pod."""
+
+    pod_name: str
+    taken_at: float
+    ip: Ipv4Address
+    mac: MacAddress
+    fake_mac: MacAddress
+    own_wire_mac: bool
+    next_vpid: int
+    next_vipc: int
+    processes: List[ProcessImage] = field(default_factory=list)
+    pipes: List[PipeImage] = field(default_factory=list)
+    shm: List[ShmImage] = field(default_factory=list)
+    sem: List[SemImage] = field(default_factory=list)
+    #: Bytes of state written to stable storage (drives checkpoint time).
+    state_bytes: int = 0
+    #: Pages actually written when incremental checkpointing is on.
+    written_bytes: int = 0
+    sockets_captured: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "pod": self.pod_name,
+            "taken_at": self.taken_at,
+            "processes": len(self.processes),
+            "sockets": self.sockets_captured,
+            "state_bytes": self.state_bytes,
+            "written_bytes": self.written_bytes,
+        }

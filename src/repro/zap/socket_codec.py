@@ -1,0 +1,95 @@
+"""Socket capture/restore codecs.
+
+The original Zap "cannot checkpoint and restore network socket state fully"
+(§1); Cruz's contribution is precisely the full codec
+(:class:`repro.cruz.netstate.CruzSocketCodec`). The split is kept in the
+code: the pod checkpoint engine is codec-agnostic, and the basic codec below
+reproduces original-Zap behaviour — it refuses live connections, which tests
+use to demonstrate the gap Cruz closes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import CheckpointError
+from repro.simos.kernel import Node
+from repro.simos.sockets import TcpSocket, UdpSocket
+from repro.tcp.state import SYNCHRONISED_STATES
+from repro.zap.pod import Pod
+
+
+class SocketCodec:
+    """Strategy interface for checkpointing sockets."""
+
+    #: How many state bytes a socket image roughly contributes.
+    SOCKET_OVERHEAD = 512
+
+    def capture_tcp(self, sock: TcpSocket) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def restore_tcp(self, node: Node, pod: Pod,
+                    detail: Dict[str, Any]) -> TcpSocket:
+        raise NotImplementedError
+
+    def capture_udp(self, sock: UdpSocket) -> Dict[str, Any]:
+        from repro.zap.image import freeze_object
+        return {
+            "bound": sock.bound,
+            "queue_blob": freeze_object(list(sock.queue)),
+        }
+
+    def restore_udp(self, node: Node, pod: Pod,
+                    detail: Dict[str, Any]) -> UdpSocket:
+        from repro.zap.image import thaw_object
+        sock = UdpSocket(node.sim, node.stack)
+        bound = detail["bound"]
+        if bound is not None:
+            # Rebind at the pod's (preserved) address.
+            sock.bind(pod.ip, bound[1])
+        sock.queue = thaw_object(detail["queue_blob"])
+        return sock
+
+    def image_bytes(self, detail: Dict[str, Any]) -> int:
+        nbytes = self.SOCKET_OVERHEAD
+        nbytes += sum(len(p) for _seq, p in detail.get("send_segments", ()))
+        nbytes += len(detail.get("pending", b""))
+        nbytes += len(detail.get("recv_data", b""))
+        return nbytes
+
+
+class BasicZapCodec(SocketCodec):
+    """Original-Zap behaviour: no live TCP connection state.
+
+    Fresh, bound and listening sockets checkpoint fine; an established (or
+    otherwise synchronised) connection raises :class:`CheckpointError`,
+    matching the limitation Cruz removes.
+    """
+
+    def capture_tcp(self, sock: TcpSocket) -> Dict[str, Any]:
+        if sock.connection is not None and \
+                sock.connection.tcb.state in SYNCHRONISED_STATES:
+            raise CheckpointError(
+                "original Zap cannot checkpoint live TCP connection state "
+                "(see Cruz §4.1); use CruzSocketCodec")
+        detail: Dict[str, Any] = {
+            "kind": "listening" if sock.listener is not None else "bound"
+            if sock.bound is not None else "fresh",
+            "options": sock.options,
+            "bound": sock.bound,
+            "backlog": sock.listener.backlog
+            if sock.listener is not None else 0,
+            "queued": [],
+        }
+        return detail
+
+    def restore_tcp(self, node: Node, pod: Pod,
+                    detail: Dict[str, Any]) -> TcpSocket:
+        sock = TcpSocket(node.sim, node.stack)
+        sock.options = detail["options"]
+        bound = detail["bound"]
+        if bound is not None:
+            sock.bind(pod.ip, bound[1])
+        if detail["kind"] == "listening":
+            sock.listen(detail["backlog"])
+        return sock

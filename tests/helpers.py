@@ -1,0 +1,58 @@
+"""Shared test fixtures: minimal wiring harnesses below the OS layer."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpPacket
+from repro.sim.core import Simulator
+from repro.tcp.stack import TcpStack
+
+
+class Wire:
+    """A two-party IP 'cable' with latency and programmable drops.
+
+    Lets TCP tests run without the full Ethernet/OS stack underneath.
+    """
+
+    def __init__(self, sim: Simulator, latency: float = 0.0005):
+        self.sim = sim
+        self.latency = latency
+        self.endpoints = {}
+        self.drop_fn: Optional[Callable[[IpPacket], bool]] = None
+        self.delivered = 0
+        self.dropped = 0
+        self.log = []
+
+    def attach(self, ip: Ipv4Address, stack: TcpStack) -> None:
+        self.endpoints[ip] = stack
+
+    def send(self, packet: IpPacket) -> None:
+        if self.drop_fn is not None and self.drop_fn(packet):
+            self.dropped += 1
+            return
+        self.log.append((self.sim.now, packet))
+        self.sim.call_later(self.latency, self._deliver, packet)
+
+    def _deliver(self, packet: IpPacket) -> None:
+        stack = self.endpoints.get(packet.dst)
+        if stack is None:
+            return
+        self.delivered += 1
+        stack.on_packet(packet)
+
+
+def make_pair(latency: float = 0.0005, time_wait_s: float = 1.0):
+    """Two TcpStacks (10.0.0.1 / 10.0.0.2) joined by a Wire."""
+    sim = Simulator()
+    wire = Wire(sim, latency=latency)
+    ip_a = Ipv4Address.parse("10.0.0.1")
+    ip_b = Ipv4Address.parse("10.0.0.2")
+    stack_a = TcpStack(sim, wire.send, name="A", time_wait_s=time_wait_s,
+                       iss_seed=1)
+    stack_b = TcpStack(sim, wire.send, name="B", time_wait_s=time_wait_s,
+                       iss_seed=2)
+    wire.attach(ip_a, stack_a)
+    wire.attach(ip_b, stack_b)
+    return sim, wire, (ip_a, stack_a), (ip_b, stack_b)

@@ -1,0 +1,43 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("demo", "fig5", "fig6", "messages", "overhead",
+                    "fig4"):
+        args = parser.parse_args([command])
+        assert callable(args.fn)
+
+
+def test_cli_requires_a_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_overhead_runs(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead" in out
+    assert "< 0.5" in out
+
+
+def test_cli_fig5_small_runs(capsys):
+    assert main(["fig5", "--nodes", "2", "3", "--rounds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 5" in out
+
+
+def test_cli_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "migration was transparent" in out
+
+
+def test_cli_messages_small_runs(capsys):
+    assert main(["messages", "--nodes", "2", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "O(N)" in out

@@ -1,0 +1,98 @@
+"""§4.2 dynamic addressing: a DHCP client inside a pod, the fake-MAC
+identity, and lease stability across migration."""
+
+import pytest
+
+from repro.apps.dhcp_client import DhcpClient
+from repro.cruz.cluster import CruzCluster
+from repro.zap.pod import Pod
+from repro.zap.virtualization import install_pod
+
+
+def shared_mac_cluster(n=3):
+    return CruzCluster(n, time_wait_s=0.5,
+                       nic_supports_multiple_macs=False)
+
+
+def make_shared_mac_pod(cluster, node_index, name):
+    node = cluster.nodes[node_index]
+    pod = Pod(node, name, ip=cluster.allocate_pod_ip(),
+              mac=node.stack.nic.primary_mac, own_wire_mac=False,
+              fake_mac=cluster.allocate_vif_mac())
+    install_pod(pod)
+    cluster.agents[node_index].register_pod(pod)
+    return pod
+
+
+def test_pod_dhcp_client_uses_fake_mac_identity():
+    cluster = shared_mac_cluster()
+    server = cluster.add_dhcp_server(node_index=2, pool_start=700)
+    pod = make_shared_mac_pod(cluster, 0, "dhcp-pod")
+    proc = pod.spawn(DhcpClient())
+    cluster.run_for(1.0)
+    assert proc.exit_code == 0
+    client = proc.program
+    # The identity the client embedded is the pod's fake MAC, not the
+    # node's physical MAC.
+    assert client.chaddr == pod.fake_mac
+    assert client.chaddr != cluster.nodes[0].stack.nic.primary_mac
+    # And the server's lease is bound to that identity.
+    lease = server.active_lease(pod.fake_mac)
+    assert lease is not None and lease.ip == client.leased_ip
+
+
+def test_dhcp_lease_survives_migration_to_different_hardware():
+    """The §4.2 punchline: after migrating to a NIC with a different
+    physical MAC, the renewal (same fake MAC in the payload) keeps the
+    same IP, so connections are not lost at lease end."""
+    cluster = shared_mac_cluster()
+    server = cluster.add_dhcp_server(node_index=2, pool_start=700)
+    pod = make_shared_mac_pod(cluster, 0, "dhcp-pod")
+    proc = pod.spawn(DhcpClient(renew_every_s=2.0, renewals=2))
+    cluster.run_for(1.0)
+    first_ip = proc.program.leased_ip
+    assert first_ip is not None
+
+    new_pod = cluster.migrate_pod(pod, target_node_index=1)
+    # Different wire MAC on the new node, same fake identity.
+    assert new_pod.vif.mac == cluster.nodes[1].stack.nic.primary_mac
+    assert new_pod.vif.mac != cluster.nodes[0].stack.nic.primary_mac
+    assert new_pod.vif.identity_mac == pod.fake_mac
+
+    cluster.run_for(6.0)
+    restored = new_pod.processes()[0]
+    assert restored.exit_code == 0
+    history = restored.program.lease_history
+    # Every renewal (including post-migration ones) granted the same IP.
+    assert len(history) >= 2
+    assert all(ip == first_ip for ip in history)
+    assert server.active_lease(pod.fake_mac).ip == first_ip
+
+
+def test_two_pods_get_distinct_dhcp_addresses():
+    cluster = shared_mac_cluster()
+    cluster.add_dhcp_server(node_index=2, pool_start=700)
+    pod_a = make_shared_mac_pod(cluster, 0, "a")
+    pod_b = make_shared_mac_pod(cluster, 1, "b")
+    proc_a = pod_a.spawn(DhcpClient())
+    proc_b = pod_b.spawn(DhcpClient())
+    cluster.run_for(1.0)
+    assert proc_a.exit_code == 0 and proc_b.exit_code == 0
+    assert proc_a.program.leased_ip != proc_b.program.leased_ip
+
+
+def test_gratuitous_arp_repoints_switch_after_migration():
+    cluster = CruzCluster(3, time_wait_s=0.5)
+    pod = cluster.create_pod(0, "svc")
+    from tests.programs import EchoServer, EchoClient
+    pod.spawn(EchoServer(port=7700))
+    client = cluster.coordinator_node.spawn(
+        EchoClient(str(pod.ip), 7700, [b"one"]))
+    cluster.run_until(lambda: not client.is_alive, limit=30, step=0.1)
+    switch = cluster.switch
+    port_before = switch.table.get(pod.mac)
+    new_pod = cluster.migrate_pod(pod, target_node_index=1)
+    cluster.run_for(0.05)  # gratuitous ARP propagates
+    port_after = switch.table.get(new_pod.mac)
+    assert port_before is not None and port_after is not None
+    assert port_before is not port_after

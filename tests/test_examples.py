@@ -1,0 +1,23 @@
+"""Every shipped example must run clean end-to-end."""
+
+import importlib
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+
+@pytest.mark.parametrize("module_name", [
+    "quickstart",
+    "weather_fault_tolerance",
+    "maintenance_drain",
+    "streaming_timeline",
+    "pagerank_suspend_resume",
+])
+def test_example_runs(module_name, capsys):
+    module = importlib.import_module(module_name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out  # narrated transcript was produced
+    assert "Traceback" not in out

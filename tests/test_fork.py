@@ -1,0 +1,181 @@
+"""fork() semantics and checkpointing forked process trees."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, sys
+
+from tests.test_zap_virtualization import make_pod
+
+
+class ForkingCounter(PhasedProgram):
+    """Parent forks; both sides do work; parent reaps the child.
+
+    Demonstrates the Unix idiom: control flow diverges on fork's return
+    value while the program text is shared.
+    """
+
+    name = "forking-counter"
+    initial_phase = "fork"
+
+    def __init__(self, child_iterations=5, work_s=0.01):
+        super().__init__()
+        self.child_iterations = child_iterations
+        self.work_s = work_s
+        self.role = None
+        self.child_vpid = None
+        self.counted = 0
+        self.reaped_code = None
+
+    def phase_fork(self, result):
+        self.goto("after_fork")
+        return sys("fork")
+
+    def phase_after_fork(self, result):
+        self.role, peer = result
+        if self.role == "parent":
+            self.child_vpid = peer
+            self.goto("wait_child")
+            return sys("waitpid", self.child_vpid)
+        self.goto("child_work")
+        return self.phase_child_work(None)
+
+    def phase_child_work(self, result):
+        if self.counted >= self.child_iterations:
+            return Exit(42)
+        self.counted += 1
+        return sys("compute", self.work_s)
+
+    def phase_wait_child(self, result):
+        self.reaped_code = result
+        return Exit(0)
+
+
+def make_cluster(n=2):
+    return Cluster(n, time_wait_s=0.5)
+
+
+def test_fork_duplicates_program_and_diverges():
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    parent = node.spawn(ForkingCounter())
+    cluster.run()
+    assert parent.exit_code == 0
+    assert parent.program.role == "parent"
+    assert parent.program.counted == 0  # parent never did child work
+    assert parent.program.reaped_code == 42
+    children = [p for p in node.processes.values() if p is not parent]
+    assert len(children) == 1
+    child = children[0]
+    assert child.program.role == "child"
+    assert child.program.counted == 5
+    assert child.ppid == parent.pid
+
+
+def test_fork_in_pod_returns_virtual_child_pid():
+    cluster = make_cluster()
+    # Burn physical pids so vpids differ from pids.
+    from tests.programs import Sleeper
+    for _ in range(7):
+        cluster.nodes[0].spawn(Sleeper(0.001))
+    pod = make_pod(cluster)
+    parent = pod.spawn(ForkingCounter())
+    cluster.run()
+    assert parent.exit_code == 0
+    # The parent saw the child's VIRTUAL pid (2: second process in pod).
+    assert parent.program.child_vpid == 2
+
+
+def test_fork_shares_pipe_objects():
+    class PipeFork(PhasedProgram):
+        """Parent creates a pipe, forks; child writes, parent reads."""
+
+        initial_phase = "pipe"
+
+        def __init__(self):
+            super().__init__()
+            self.got = None
+            self.role = None
+
+        def phase_pipe(self, result):
+            self.goto("fork")
+            return sys("pipe")
+
+        def phase_fork(self, result):
+            self.rfd, self.wfd = result
+            self.goto("after_fork")
+            return sys("fork")
+
+        def phase_after_fork(self, result):
+            self.role = result[0]
+            if self.role == "child":
+                self.goto("child_done")
+                return sys("write", self.wfd, b"hi from child")
+            self.goto("read")
+            return sys("read", self.rfd, 100)
+
+        def phase_child_done(self, result):
+            return Exit(0)
+
+        def phase_read(self, result):
+            self.got = result
+            return Exit(0)
+
+    cluster = make_cluster()
+    parent = cluster.nodes[0].spawn(PipeFork())
+    cluster.run()
+    assert parent.exit_code == 0
+    assert parent.program.got == b"hi from child"
+
+
+def test_forked_tree_survives_checkpoint_restart():
+    from tests.test_zap_checkpoint import engines, run_coroutine
+    from repro.zap.checkpoint import scrub_pod_network
+    from repro.zap.virtualization import uninstall_pod
+
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    parent = pod.spawn(ForkingCounter(child_iterations=40, work_s=0.01))
+    cluster.run_for(0.15)  # child mid-work, parent blocked in waitpid
+    procs = pod.live_processes()
+    assert len(procs) == 2
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    assert len(image.processes) == 2
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run()
+    restored_parent = restored.processes()[0]
+    assert restored_parent.exit_code == 0
+    assert restored_parent.program.reaped_code == 42
+    restored_child = restored.processes()[1]
+    assert restored_child.program.counted == 40
+    del parent
+
+
+def test_checkpoint_immediately_after_fork_preserves_initial_result():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    parent = pod.spawn(ForkingCounter(child_iterations=3, work_s=0.01))
+    # Stop the pod the instant the fork has happened but (likely) before
+    # the child's first step.
+    cluster.run_until(lambda: len(pod.live_processes()) == 2,
+                      limit=10, step=0.0005)
+    from tests.test_zap_checkpoint import engines, run_coroutine
+    from repro.zap.checkpoint import scrub_pod_network
+    from repro.zap.virtualization import uninstall_pod
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run()
+    statuses = sorted(p.exit_code for p in restored.processes())
+    assert statuses == [0, 42]
+    del parent

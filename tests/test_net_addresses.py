@@ -1,0 +1,68 @@
+"""Tests for MAC/IPv4 value types."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    Ipv4Address,
+    MacAddress,
+    Subnet,
+)
+
+
+def test_mac_parse_roundtrip():
+    mac = MacAddress.parse("02:00:00:00:00:2a")
+    assert mac.value == 0x02_00_00_00_00_2A
+    assert str(mac) == "02:00:00:00:00:2a"
+
+
+def test_mac_ordinal_is_unique():
+    assert MacAddress.ordinal(1) != MacAddress.ordinal(2)
+
+
+def test_broadcast_mac():
+    assert BROADCAST_MAC.is_broadcast
+    assert not MacAddress.ordinal(5).is_broadcast
+
+
+def test_mac_out_of_range():
+    with pytest.raises(NetworkError):
+        MacAddress(1 << 48)
+
+
+def test_ipv4_parse_roundtrip():
+    ip = Ipv4Address.parse("192.168.1.10")
+    assert str(ip) == "192.168.1.10"
+
+
+def test_ipv4_bad_strings():
+    for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1"):
+        with pytest.raises((NetworkError, ValueError)):
+            Ipv4Address.parse(bad)
+
+
+def test_subnet_membership():
+    subnet = Subnet(Ipv4Address.parse("10.1.0.0"), 16)
+    assert Ipv4Address.parse("10.1.200.3") in subnet
+    assert Ipv4Address.parse("10.2.0.1") not in subnet
+
+
+def test_subnet_host_allocation():
+    subnet = Subnet(Ipv4Address.parse("10.1.0.0"), 24)
+    assert str(subnet.host(1)) == "10.1.0.1"
+    with pytest.raises(NetworkError):
+        subnet.host(255)  # broadcast address
+
+
+def test_subnet_hosts_iterator():
+    subnet = Subnet(Ipv4Address.parse("10.1.0.0"), 29)
+    hosts = list(subnet.hosts())
+    assert len(hosts) == 6
+    assert str(hosts[0]) == "10.1.0.1"
+
+
+def test_addresses_are_hashable_and_ordered():
+    a, b = Ipv4Address(1), Ipv4Address(2)
+    assert a < b
+    assert len({a, b, Ipv4Address(1)}) == 2

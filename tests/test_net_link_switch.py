@@ -1,0 +1,196 @@
+"""Tests for links, NICs and the learning switch."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.net.link import GIGABIT, Link, Port
+from repro.net.nic import Nic
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    EthernetFrame,
+    IpPacket,
+    PROTO_TCP,
+    TcpFlags,
+    TcpSegment,
+)
+from repro.net.switch import Switch
+from repro.sim.core import Simulator
+
+
+def _frame(src: MacAddress, dst: MacAddress, payload_len: int = 100):
+    segment = TcpSegment(src_port=1, dst_port=2, seq=0, ack=0,
+                         flags=TcpFlags.ACK, window=0,
+                         payload=b"x" * payload_len)
+    packet = IpPacket(src=Ipv4Address(1), dst=Ipv4Address(2),
+                      protocol=PROTO_TCP, payload=segment)
+    return EthernetFrame(src=src, dst=dst, ethertype=ETHERTYPE_IP,
+                         payload=packet)
+
+
+def _capture_port(name, sink):
+    return Port(name, lambda frame, port: sink.append(frame))
+
+
+def test_link_delivers_with_latency_and_serialisation():
+    sim = Simulator()
+    received = []
+    a = _capture_port("a", [])
+    b = _capture_port("b", received)
+    Link(sim, a, b, bandwidth_bps=GIGABIT, latency_s=10e-6)
+    frame = _frame(MacAddress.ordinal(1), MacAddress.ordinal(2))
+    a.transmit(frame)
+    sim.run()
+    assert received == [frame]
+    expected = frame.size * 8 / GIGABIT + 10e-6
+    assert sim.now == pytest.approx(expected)
+
+
+def test_link_fifo_serialisation_queues_frames():
+    sim = Simulator()
+    received = []
+    a = _capture_port("a", [])
+    b = _capture_port("b", received)
+    Link(sim, a, b, bandwidth_bps=GIGABIT, latency_s=0.0)
+    f1 = _frame(MacAddress.ordinal(1), MacAddress.ordinal(2), 1000)
+    f2 = _frame(MacAddress.ordinal(1), MacAddress.ordinal(2), 1000)
+    a.transmit(f1)
+    a.transmit(f2)
+    sim.run()
+    # Second frame finishes at 2x the serialisation time of one frame.
+    assert sim.now == pytest.approx(2 * f1.size * 8 / GIGABIT)
+    assert received == [f1, f2]
+
+
+def test_link_down_drops():
+    sim = Simulator()
+    received = []
+    a = _capture_port("a", [])
+    b = _capture_port("b", received)
+    link = Link(sim, a, b)
+    link.down = True
+    a.transmit(_frame(MacAddress.ordinal(1), MacAddress.ordinal(2)))
+    sim.run()
+    assert received == []
+    assert link.frames_dropped == 1
+
+
+def test_link_drop_fn():
+    sim = Simulator()
+    received = []
+    a = _capture_port("a", [])
+    b = _capture_port("b", received)
+    Link(sim, a, b, drop_fn=lambda frame: True)
+    a.transmit(_frame(MacAddress.ordinal(1), MacAddress.ordinal(2)))
+    sim.run()
+    assert received == []
+
+
+def test_port_requires_cable():
+    port = Port("lonely", lambda f, p: None)
+    with pytest.raises(NetworkError):
+        port.transmit(_frame(MacAddress.ordinal(1), MacAddress.ordinal(2)))
+
+
+def test_nic_filters_by_mac():
+    sim = Simulator()
+    nic = Nic(sim, "eth0", MacAddress.ordinal(1))
+    got = []
+    nic.rx_handler = lambda frame, n: got.append(frame)
+    nic._on_frame(_frame(MacAddress.ordinal(9), MacAddress.ordinal(2)), None)
+    assert got == []
+    assert nic.rx_filtered == 1
+    nic._on_frame(_frame(MacAddress.ordinal(9), MacAddress.ordinal(1)), None)
+    assert len(got) == 1
+
+
+def test_nic_accepts_broadcast_and_promiscuous():
+    sim = Simulator()
+    nic = Nic(sim, "eth0", MacAddress.ordinal(1))
+    assert nic.accepts(_frame(MacAddress.ordinal(9), BROADCAST_MAC))
+    other = _frame(MacAddress.ordinal(9), MacAddress.ordinal(3))
+    assert not nic.accepts(other)
+    nic.promiscuous = True
+    assert nic.accepts(other)
+
+
+def test_nic_multi_mac_vif_support():
+    sim = Simulator()
+    nic = Nic(sim, "eth0", MacAddress.ordinal(1))
+    vif_mac = MacAddress.ordinal(42)
+    nic.add_mac(vif_mac)
+    assert nic.accepts(_frame(MacAddress.ordinal(9), vif_mac))
+    nic.remove_mac(vif_mac)
+    assert not nic.accepts(_frame(MacAddress.ordinal(9), vif_mac))
+
+
+def test_nic_without_multi_mac_rejects_extra():
+    sim = Simulator()
+    nic = Nic(sim, "eth0", MacAddress.ordinal(1),
+              supports_multiple_macs=False)
+    with pytest.raises(NetworkError):
+        nic.add_mac(MacAddress.ordinal(2))
+
+
+def test_nic_cannot_drop_primary_mac():
+    sim = Simulator()
+    nic = Nic(sim, "eth0", MacAddress.ordinal(1))
+    with pytest.raises(NetworkError):
+        nic.remove_mac(nic.primary_mac)
+
+
+def _wire_nic_to_switch(sim, switch, mac):
+    nic = Nic(sim, f"eth-{mac}", mac)
+    Link(sim, nic.port, switch.new_port(), latency_s=1e-6)
+    return nic
+
+
+def test_switch_floods_unknown_then_learns():
+    sim = Simulator()
+    switch = Switch(sim)
+    macs = [MacAddress.ordinal(i) for i in (1, 2, 3)]
+    nics = [_wire_nic_to_switch(sim, switch, mac) for mac in macs]
+    inboxes = {i: [] for i in range(3)}
+    for i, nic in enumerate(nics):
+        nic.rx_handler = (lambda idx: lambda frame, n:
+                          inboxes[idx].append(frame))(i)
+
+    nics[0].send(_frame(macs[0], macs[1]))
+    sim.run()
+    # Unknown destination: flooded; only NIC 1 accepts it.
+    assert len(inboxes[1]) == 1 and not inboxes[2]
+    assert switch.frames_flooded == 1
+
+    nics[1].send(_frame(macs[1], macs[0]))
+    sim.run()
+    # Switch learned mac0's port from the first frame: unicast forward.
+    assert len(inboxes[0]) == 1
+    assert switch.frames_forwarded == 1
+
+
+def test_switch_broadcast_reaches_all_but_sender():
+    sim = Simulator()
+    switch = Switch(sim)
+    macs = [MacAddress.ordinal(i) for i in (1, 2, 3)]
+    nics = [_wire_nic_to_switch(sim, switch, mac) for mac in macs]
+    counts = [0, 0, 0]
+    for i, nic in enumerate(nics):
+        nic.rx_handler = (lambda idx: lambda frame, n:
+                          counts.__setitem__(idx, counts[idx] + 1))(i)
+    nics[0].send(_frame(macs[0], BROADCAST_MAC))
+    sim.run()
+    assert counts == [0, 1, 1]
+
+
+def test_switch_forget_forces_reflood():
+    sim = Simulator()
+    switch = Switch(sim)
+    macs = [MacAddress.ordinal(i) for i in (1, 2)]
+    nics = [_wire_nic_to_switch(sim, switch, mac) for mac in macs]
+    for nic in nics:
+        nic.rx_handler = lambda frame, n: None
+    nics[0].send(_frame(macs[0], macs[1]))
+    sim.run()
+    assert macs[0] in switch.table
+    switch.forget(macs[0])
+    assert macs[0] not in switch.table

@@ -1,0 +1,237 @@
+"""Unit tests for Cruz's §4.1 socket-state capture/restore, at the
+connection level (no pods, no coordinator)."""
+
+import pytest
+
+from repro.cruz.netstate import capture_connection, restore_connection
+from repro.errors import CheckpointError
+from repro.net.packet import PROTO_TCP
+from repro.tcp.state import TcpState
+
+from tests.helpers import Wire, make_pair
+from tests.test_tcp_connection import SinkApp, SourceApp, establish
+
+
+class FakeNode:
+    """The minimal node surface restore_connection needs."""
+
+    def __init__(self, sim, stack):
+        self.sim = sim
+        self.stack = type("S", (), {"tcp": stack})()
+        self.name = "fake"
+
+
+def test_capture_requires_frozen_connection():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    with pytest.raises(CheckpointError, match="frozen"):
+        capture_connection(client)
+
+
+def test_capture_is_nondestructive():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+    SourceApp(sim, client, b"k" * 150000)
+    sim.run(until=sim.now + 0.01)
+    client.freeze()
+    before = (client.tcb.snd_una, client.tcb.snd_nxt,
+              client.send_buffer.unacked_bytes,
+              len(client.send_buffer.pending))
+    detail = capture_connection(client)
+    after = (client.tcb.snd_una, client.tcb.snd_nxt,
+             client.send_buffer.unacked_bytes,
+             len(client.send_buffer.pending))
+    assert before == after
+    client.unfreeze()
+    sim.run(until=sim.now + 20)
+    assert bytes(sink.received) == b"k" * 150000
+    assert detail["kind"] == "connected"
+
+
+def test_snapshot_sequence_adjustment():
+    """§4.1: the saved TCB reflects empty buffers via two seq changes."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    SourceApp(sim, client, b"s" * 120000)
+    sim.run(until=sim.now + 0.01)
+    client.freeze()
+    detail = capture_connection(client)
+    client.unfreeze()
+    snap = detail["tcb"]
+    live = client.tcb
+    # Send side rewound: contents "not yet issued by the process".
+    assert snap.snd_nxt == snap.snd_una == live.snd_una
+    assert live.snd_nxt > live.snd_una  # live one really had data out
+    # The walked packets cover exactly [snd_una, snd_nxt).
+    walked = sum(len(p) for _seq, p in detail["send_segments"])
+    assert walked == live.snd_nxt - live.snd_una
+    assert detail["send_segments"][0][0] == live.snd_una
+
+
+def test_capture_preserves_packet_boundaries():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SourceApp(sim, client, b"b" * 80000)
+    sim.run(until=sim.now + 0.005)
+    client.freeze()
+    detail = capture_connection(client)
+    client.unfreeze()
+    segments = detail["send_segments"]
+    assert segments
+    # Contiguous, boundary-preserving: each packet starts where the
+    # previous ended.
+    for (seq1, payload1), (seq2, _p2) in zip(segments, segments[1:]):
+        assert seq1 + len(payload1) == seq2
+
+
+def test_restore_roundtrip_on_fresh_stacks():
+    """Capture both ends mid-stream, rebuild them on brand-new stacks,
+    and verify the stream completes exactly."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+    payload = b"r" * 200000
+    source = SourceApp(sim, client, payload)
+    sim.run(until=sim.now + 0.01)
+    already = bytes(sink.received)
+
+    # Freeze and capture both endpoints (a consistent cut: the wire keeps
+    # flying packets, which will be dropped — the restored TCP recovers).
+    client.freeze()
+    server.freeze()
+    c_detail = capture_connection(client)
+    s_detail = capture_connection(server)
+
+    # Tear down the originals silently and rebuild both on new stacks.
+    from repro.tcp.stack import TcpStack
+    from repro.net.addresses import Ipv4Address
+    client.destroy()
+    server.destroy()
+    ip_a, old_stack_a = a
+    ip_b, old_stack_b = b
+    new_a = TcpStack(sim, wire.send, name="A2", time_wait_s=1.0,
+                     iss_seed=7)
+    new_b = TcpStack(sim, wire.send, name="B2", time_wait_s=1.0,
+                     iss_seed=8)
+    wire.endpoints[ip_a] = new_a
+    wire.endpoints[ip_b] = new_b
+
+    rc = restore_connection(FakeNode(sim, new_a), c_detail)
+    rs = restore_connection(FakeNode(sim, new_b), s_detail)
+    sink2 = SinkApp(sim, rs)
+    # The restored server must first see the §4.1 alternate-buffer bytes.
+    sink2.received[:0] = s_detail["recv_data"]
+
+    source2 = SourceApp(sim, rc, source.remaining)
+    sim.run(until=sim.now + 30)
+    assert already + bytes(sink2.received) == payload
+    del source2
+
+
+def test_restored_sender_retransmits_dropped_reissues():
+    """Re-issued sends during restore may be dropped (comm disabled);
+    retransmission must recover them."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+    SourceApp(sim, client, b"d" * 50000)
+    sim.run(until=sim.now + 0.005)
+    client.freeze()
+    detail = capture_connection(client)
+    client.destroy()
+
+    from repro.tcp.stack import TcpStack
+    ip_a, _ = a
+    new_a = TcpStack(sim, wire.send, name="A2", time_wait_s=1.0,
+                     iss_seed=9)
+    wire.endpoints[ip_a] = new_a
+
+    # Drop everything during the restore window (the netfilter analogue).
+    blackout = {"active": True}
+    wire.drop_fn = lambda packet: blackout["active"]
+    restored = restore_connection(FakeNode(sim, new_a), detail)
+    assert restored.send_buffer.unacked_bytes > 0
+    sim.call_later(0.05, lambda: blackout.update(active=False))
+    sim.run(until=sim.now + 30)
+    assert restored.segments_retransmitted >= 1
+    assert bytes(sink.received) == b"d" * 50000
+
+
+def test_listener_capture_restores_accept_queue():
+    sim, wire, a, b = make_pair()
+    ip_a, stack_a = a
+    ip_b, stack_b = b
+    listener = stack_b.listen(ip_b, 6100)
+    client = stack_a.connect(ip_a, ip_b, 6100)
+    sim.run_until_complete(client.established_event, limit=30)
+    sim.run(until=sim.now + 0.1)
+    # The established connection sits unaccepted in the queue.
+    assert len(listener.accept_queue) == 1
+    from repro.cruz.netstate import CruzSocketCodec
+    from repro.simos.sockets import TcpSocket
+
+    # Wrap in a socket the way the fd table would reference it.
+    class StackShim:
+        tcp = stack_b
+        eth0 = type("I", (), {"ip": ip_b})()
+
+    sock = TcpSocket(sim, StackShim())
+    sock.bound = (ip_b, 6100)
+    sock.listener = listener
+    codec = CruzSocketCodec()
+    for pending in listener.accept_queue:
+        pending.freeze()
+    detail = codec.capture_tcp(sock)
+    for pending in listener.accept_queue:
+        pending.unfreeze()
+    assert detail["kind"] == "listening"
+    assert len(detail["queued"]) == 1
+    assert detail["queued"][0]["kind"] == "connected"
+
+
+def test_half_open_connect_restored_as_bound():
+    sim, wire, a, b = make_pair()
+    ip_a, stack_a = a
+    ip_b, _stack_b = b
+    wire.drop_fn = lambda packet: True  # SYN never arrives
+    client = stack_a.connect(ip_a, ip_b, 6200)
+    sim.run(until=sim.now + 0.05)
+    assert client.state == TcpState.SYN_SENT
+
+    from repro.cruz.netstate import CruzSocketCodec
+    from repro.simos.sockets import TcpSocket
+
+    class StackShim:
+        tcp = stack_a
+        eth0 = type("I", (), {"ip": ip_a})()
+
+    sock = TcpSocket(sim, StackShim())
+    sock.connection = client
+    sock.bound = (ip_a, client.tcb.local_port)
+    detail = CruzSocketCodec().capture_tcp(sock)
+    assert detail["kind"] == "bound"
+
+
+def test_alternate_buffer_concatenated_on_second_checkpoint():
+    """§4.1: checkpoint with a non-empty alternate buffer concatenates
+    alternate + receive-buffer contents."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    client.send(b"NEWDATA")
+    sim.run(until=sim.now + 0.1)
+    server.freeze()
+    detail = capture_connection(server, alternate=b"OLDRESTORED")
+    server.unfreeze()
+    assert detail["recv_data"] == b"OLDRESTORED" + b"NEWDATA"
+
+
+def test_close_requested_travels_through_restore():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    client.send(b"tail")
+    client.close()  # FIN pends behind the data
+    client.freeze()
+    detail = capture_connection(client)
+    assert detail["close_requested"]

@@ -1,0 +1,89 @@
+"""The BSP PageRank workload, plain and across every CR operation."""
+
+import numpy as np
+
+from repro.apps.pagerank import (
+    PageRankRank,
+    build_link_matrix,
+    pagerank_factory,
+    reference_pagerank,
+)
+from repro.cruz.cluster import CruzCluster
+
+from tests.test_apps import run_app
+
+
+def make_cluster(n, **kwargs):
+    kwargs.setdefault("time_wait_s", 0.5)
+    return CruzCluster(n, **kwargs)
+
+
+def results_of(cluster, app):
+    ranks = sorted(cluster.app_programs(app), key=lambda r: r.rank)
+    return [r.result for r in ranks]
+
+
+def test_link_matrix_is_column_stochastic():
+    matrix = build_link_matrix(50)
+    np.testing.assert_allclose(matrix.sum(axis=0), np.ones(50))
+    assert (matrix >= 0).all()
+
+
+def test_pagerank_matches_reference_exactly():
+    cluster = make_cluster(3)
+    app = cluster.launch_app_factory(
+        "pr", 3, pagerank_factory(3, n_vertices=45, iterations=15))
+    run_app(cluster, app)
+    expected = reference_pagerank(45, 3, 15)
+    for result in results_of(cluster, app):
+        np.testing.assert_array_equal(result, expected)
+    # And it is a probability distribution.
+    assert abs(expected.sum() - 1.0) < 1e-9
+
+
+def test_pagerank_bit_identical_across_crash_restart():
+    cluster = make_cluster(3)
+    app = cluster.launch_app_factory(
+        "pr", 3, pagerank_factory(3, n_vertices=45, iterations=30,
+                                  work_s_per_iter=0.02))
+    cluster.run_for(0.3)  # mid-iteration
+    ranks = cluster.app_programs(app)
+    assert any(0 < r.iteration < 30 for r in ranks)
+    cluster.checkpoint_app(app)
+    cluster.run_for(0.1)
+    cluster.crash_app(app)
+    cluster.restart_app(app)
+    run_app(cluster, app)
+    expected = reference_pagerank(45, 3, 30)
+    for result in results_of(cluster, app):
+        np.testing.assert_array_equal(result, expected)
+
+
+def test_pagerank_bit_identical_across_live_migration():
+    cluster = make_cluster(4)
+    app = cluster.launch_app_factory(
+        "pr", 2, pagerank_factory(2, n_vertices=40, iterations=25,
+                                  work_s_per_iter=0.02),
+        node_indices=[0, 1])
+    cluster.run_for(0.2)
+    cluster.migrate_pod(app.pods[0], target_node_index=2)
+    cluster.run_for(0.1)
+    cluster.migrate_pod(app.pods[1], target_node_index=3)
+    run_app(cluster, app)
+    expected = reference_pagerank(40, 2, 25)
+    for result in results_of(cluster, app):
+        np.testing.assert_array_equal(result, expected)
+
+
+def test_pagerank_uneven_partition_last_rank_takes_remainder():
+    cluster = make_cluster(3)
+    # 47 vertices over 3 ranks: 15/15/17.
+    app = cluster.launch_app_factory(
+        "pr", 3, pagerank_factory(3, n_vertices=47, iterations=10))
+    run_app(cluster, app)
+    programs = sorted(cluster.app_programs(app), key=lambda r: r.rank)
+    assert isinstance(programs[0], PageRankRank)
+    assert (programs[2].row1 - programs[2].row0) == 17
+    expected = reference_pagerank(47, 3, 10)
+    for result in results_of(cluster, app):
+        np.testing.assert_array_equal(result, expected)

@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the invariants DESIGN.md names."""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import Stat
+from repro.cruz.netstate import capture_connection
+from repro.simos.memory import AddressSpace, PAGE_SIZE
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+from repro.zap.image import freeze_object, thaw_object
+
+from tests.helpers import make_pair
+from tests.test_tcp_connection import SinkApp, SourceApp, establish
+
+SLOW = settings(max_examples=25, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Receive buffer: arbitrary segment arrival yields an exact stream prefix
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(data=st.binary(min_size=1, max_size=400),
+       chop=st.lists(st.integers(1, 60), min_size=1, max_size=30),
+       order=st.randoms(use_true_random=False),
+       duplicate=st.booleans())
+def test_receive_buffer_reassembles_any_arrival_order(
+        data, chop, order, duplicate):
+    # Chop the stream into segments.
+    segments = []
+    offset = 0
+    index = 0
+    while offset < len(data):
+        size = chop[index % len(chop)]
+        segments.append((offset, data[offset:offset + size]))
+        offset += size
+        index += 1
+    arrival = list(segments)
+    if duplicate:
+        arrival += segments[: len(segments) // 2]
+    order.shuffle(arrival)
+    buf = ReceiveBuffer(capacity=1 << 20, rcv_nxt=0)
+    for seq, payload in arrival:
+        buf.store(seq, payload)
+    out = buf.read(1 << 20)
+    # Whatever arrived forms an exact prefix (everything, since the
+    # capacity is large and all segments were presented).
+    assert out == data
+
+
+@SLOW
+@given(data=st.binary(min_size=1, max_size=300),
+       reads=st.lists(st.integers(1, 50), min_size=1, max_size=30))
+def test_receive_buffer_reads_never_reorder(data, reads):
+    buf = ReceiveBuffer(capacity=1 << 20, rcv_nxt=100)
+    buf.store(100, data)
+    out = b""
+    for size in reads:
+        out += buf.read(size)
+    out += buf.read(1 << 20)
+    assert out == data
+
+
+# ---------------------------------------------------------------------------
+# Send buffer: segmentize/acknowledge keep the byte stream intact
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(chunks=st.lists(st.binary(min_size=1, max_size=120), min_size=1,
+                       max_size=20),
+       mss=st.integers(1, 64))
+def test_send_buffer_walk_reconstructs_stream(chunks, mss):
+    buf = SendBuffer(capacity=1 << 20)
+    stream = b""
+    for chunk in chunks:
+        accepted = buf.accept(chunk)
+        stream += chunk[:accepted]
+    seq = 0
+    while True:
+        payload = buf.segmentize(seq, mss)
+        if payload is None:
+            break
+        seq += len(payload)
+    walked = b"".join(p for _seq, p in buf.walk())
+    assert walked == stream
+    # Boundaries are contiguous.
+    segments = buf.walk()
+    for (s1, p1), (s2, _p2) in zip(segments, segments[1:]):
+        assert s1 + len(p1) == s2
+
+
+@SLOW
+@given(nbytes=st.integers(1, 500), mss=st.integers(1, 80),
+       ack_points=st.lists(st.integers(0, 500), max_size=10))
+def test_send_buffer_cumulative_ack_monotonic(nbytes, mss, ack_points):
+    buf = SendBuffer(capacity=1 << 20)
+    buf.accept(b"x" * nbytes)
+    seq = 0
+    while True:
+        payload = buf.segmentize(seq, mss)
+        if payload is None:
+            break
+        seq += len(payload)
+    total = nbytes
+    for ack in sorted(ack_points):
+        ack = min(ack, total)
+        buf.acknowledge(ack)
+        remaining = sum(len(p) for _s, p in buf.walk())
+        assert remaining == total - ack
+
+
+# ---------------------------------------------------------------------------
+# §5.1 invariant under randomised checkpoint instants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(instant=st.floats(0.001, 0.05),
+       drop_rate=st.floats(0.0, 0.2),
+       seed=st.integers(0, 2 ** 16))
+def test_checkpoint_invariant_any_instant(instant, drop_rate, seed):
+    """snd_una <= rcv_nxt <= snd_nxt (with buffers counted) for a cut
+    taken at an arbitrary moment of a lossy transfer."""
+    import random
+    rng = random.Random(seed)
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    SourceApp(sim, client, b"p" * 300000)
+    if drop_rate:
+        wire.drop_fn = lambda packet: rng.random() < drop_rate
+    sim.run(until=sim.now + instant)
+    # The consistent cut: both directions filtered, then captured.
+    wire.drop_fn = lambda packet: True
+    client.freeze()
+    server.freeze()
+    c_detail = capture_connection(client)
+    s_detail = capture_connection(server)
+    sender_una = c_detail["tcb"].snd_una
+    sender_effective_nxt = sender_una + sum(
+        len(p) for _s, p in c_detail["send_segments"])
+    receiver_rcv_nxt = s_detail["tcb"].rcv_nxt
+    assert sender_una <= receiver_rcv_nxt <= sender_effective_nxt
+
+
+# ---------------------------------------------------------------------------
+# Address space accounting
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(sizes=st.lists(st.integers(0, 5 * PAGE_SIZE), min_size=1,
+                      max_size=10))
+def test_address_space_accounting(sizes):
+    space = AddressSpace()
+    for index, nbytes in enumerate(sizes):
+        space.allocate(f"r{index}", nbytes)
+    assert space.resident_bytes == sum(sizes)
+    # Fresh allocations are fully dirty.
+    assert space.dirty_bytes() == space.total_pages * PAGE_SIZE
+    space.clear_dirty()
+    assert space.dirty_bytes() == 0
+    space.touch("r0")
+    expected = ((sizes[0] + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+    assert space.dirty_bytes() == expected
+    snapshot = space.snapshot()
+    space.touch("r0")
+    assert snapshot.dirty_bytes() == expected  # snapshot is independent
+
+
+# ---------------------------------------------------------------------------
+# Image serde
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(payload=st.recursive(
+    st.one_of(st.integers(), st.binary(max_size=40), st.text(max_size=20),
+              st.floats(allow_nan=False), st.booleans(), st.none()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=20))
+def test_freeze_thaw_roundtrip(payload):
+    assert thaw_object(freeze_object(payload)) == payload
+
+
+def test_freeze_rejects_unpicklable():
+    import pytest
+    from repro.errors import CheckpointError
+    with pytest.raises(CheckpointError, match="not checkpointable"):
+        freeze_object(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Stat
+# ---------------------------------------------------------------------------
+
+@SLOW
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_stat_mean_bounds(values):
+    stat = Stat.of(values)
+    assert min(values) - 1e-6 <= stat.mean <= max(values) + 1e-6
+    assert stat.std >= 0
+    assert stat.n == len(values)
+
+
+@SLOW
+@given(values=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=30),
+       factor=st.floats(0.1, 10))
+def test_stat_scaling(values, factor):
+    stat = Stat.of(values).scaled(factor)
+    direct = Stat.of([v * factor for v in values])
+    assert abs(stat.mean - direct.mean) < 1e-6 * max(1, abs(direct.mean))
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint image pickles completely
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_image_is_pickle_stable():
+    from repro.cluster import Cluster
+    from repro.cruz.netstate import CruzSocketCodec
+    from repro.zap.checkpoint import CheckpointEngine
+    from tests.test_zap_virtualization import make_pod
+    from tests.programs import EchoServer, EchoClient
+
+    cluster = Cluster(2, time_wait_s=0.5)
+    pod = make_pod(cluster)
+    pod.spawn(EchoServer(port=6500))
+    cluster.nodes[1].spawn(EchoClient(str(pod.ip), 6500, [b"z" * 3000000]))
+    cluster.run_for(0.01)
+    engine = CheckpointEngine(CruzSocketCodec())
+    task = cluster.sim.process(engine.checkpoint(pod, resume=True))
+    image = cluster.sim.run_until_complete(task, limit=1e6)
+    blob = pickle.dumps(image)
+    clone = pickle.loads(blob)
+    assert clone.pod_name == image.pod_name
+    assert clone.state_bytes == image.state_bytes
+    assert len(clone.processes) == len(image.processes)
+    assert [p.vpid for p in clone.processes] == \
+        [p.vpid for p in image.processes]
+    assert clone.processes[0].program_blob == \
+        image.processes[0].program_blob

@@ -1,0 +1,72 @@
+"""Unit tests for simulation resources (CPU pool, semaphore)."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource, Semaphore
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    resource = Resource(sim, 2, name="cpu")
+    grants = [resource.request() for _ in range(3)]
+    assert grants[0].triggered and grants[1].triggered
+    assert not grants[2].triggered
+    resource.release()
+    assert grants[2].triggered
+    assert resource.in_use == 2
+
+
+def test_resource_release_underflow_raises():
+    sim = Simulator()
+    resource = Resource(sim, 1)
+    with pytest.raises(RuntimeError, match="underflow"):
+        resource.release()
+
+
+def test_resource_cancel_pending_request():
+    sim = Simulator()
+    resource = Resource(sim, 1)
+    first = resource.request()
+    waiting = resource.request()
+    resource.cancel(waiting)
+    resource.release()  # must NOT go to the cancelled waiter
+    assert resource.available == 1
+    del first
+
+
+def test_resource_cancel_granted_releases():
+    sim = Simulator()
+    resource = Resource(sim, 1)
+    grant = resource.request()
+    assert resource.available == 0
+    resource.cancel(grant)
+    assert resource.available == 1
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, 0)
+
+
+def test_semaphore_fifo_wakeup():
+    sim = Simulator()
+    semaphore = Semaphore(sim, value=0)
+    first = semaphore.wait(1)
+    second = semaphore.wait(1)
+    semaphore.post()
+    assert first.triggered and not second.triggered
+    semaphore.post()
+    assert second.triggered
+
+
+def test_semaphore_bulk_wait():
+    sim = Simulator()
+    semaphore = Semaphore(sim, value=0)
+    big = semaphore.wait(3)
+    semaphore.post(2)
+    assert not big.triggered
+    semaphore.post(1)
+    assert big.triggered
+    assert semaphore.value == 0

@@ -1,0 +1,247 @@
+"""Kernel edge cases: resource cancellation, signal interactions,
+non-blocking socket flags, crash semantics."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import SyscallError
+from repro.simos.process import ProcessState, SIGCONT, SIGKILL, SIGSTOP
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, MSG_DONTWAIT, sys
+
+from tests.programs import ComputeLoop, Sleeper
+
+
+def make_cluster(n=1, **kwargs):
+    kwargs.setdefault("time_wait_s", 0.5)
+    return Cluster(n, **kwargs)
+
+
+def test_kill_while_queued_for_cpu_releases_slot():
+    """A killed process waiting for a CPU must not leak the slot."""
+    cluster = make_cluster(cpus_per_node=1)
+    node = cluster.nodes[0]
+    hog = node.spawn(ComputeLoop(iterations=1, work_s=2.0))
+    victim = node.spawn(ComputeLoop(iterations=1, work_s=1.0))
+    cluster.run_for(0.5)  # victim is queued behind the hog
+    node.kill(victim.pid, SIGKILL)
+    cluster.run()
+    assert victim.exit_code == -9
+    assert hog.exit_code == 0
+    assert node.cpu.in_use == 0
+    # A later job gets the CPU normally.
+    late = node.spawn(ComputeLoop(iterations=1, work_s=0.5))
+    cluster.run()
+    assert late.exit_code == 0
+
+
+def test_kill_while_holding_cpu_releases_slot():
+    cluster = make_cluster(cpus_per_node=1)
+    node = cluster.nodes[0]
+    hog = node.spawn(ComputeLoop(iterations=1, work_s=10.0))
+    cluster.run_for(0.5)
+    node.kill(hog.pid, SIGKILL)
+    cluster.run_for(0.5)
+    assert hog.exit_code == -9
+    assert node.cpu.in_use == 0
+
+
+def test_kill_while_blocked_on_semaphore_cancels_waiter():
+    class SemWaiter(PhasedProgram):
+        initial_phase = "get"
+
+        def phase_get(self, result):
+            self.goto("wait")
+            return sys("semget", 42, 0)
+
+        def phase_wait(self, result):
+            self.semid = result
+            self.goto("done")
+            return sys("semop", self.semid, -1)
+
+        def phase_done(self, result):
+            return Exit(0)
+
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    victim = node.spawn(SemWaiter())
+    survivor = node.spawn(SemWaiter())
+    cluster.run_for(0.1)
+    node.kill(victim.pid, SIGKILL)
+    cluster.run_for(0.1)
+    # Post one unit: the dead waiter must not consume it.
+    semid = node.ipc.semget(42, 0)
+    node.ipc.sem_lookup(semid).op(+1)
+    cluster.run_for(0.1)
+    assert victim.exit_code == -9
+    assert survivor.exit_code == 0
+
+
+def test_stop_while_blocked_then_continue_completes_syscall():
+    class PipeReader(PhasedProgram):
+        initial_phase = "pipe"
+
+        def __init__(self):
+            super().__init__()
+            self.got = None
+
+        def phase_pipe(self, result):
+            self.goto("read")
+            return sys("pipe")
+
+        def phase_read(self, result):
+            self.rfd, self.wfd = result
+            self.goto("done")
+            return sys("read", self.rfd, 10)
+
+        def phase_done(self, result):
+            self.got = result
+            return Exit(0)
+
+    class Feeder(PhasedProgram):
+        initial_phase = "sleep"
+
+        def __init__(self, target_node, reader):
+            super().__init__()
+            self._node = target_node
+            self._reader = reader
+
+        def phase_sleep(self, result):
+            self.goto("feed")
+            return sys("sleep", 0.5)
+
+        def phase_feed(self, result):
+            # Write directly into the reader's pipe (kernel-level poke).
+            pipe = self._reader.fds.get(self._reader.program.wfd).obj
+            pipe.buffer.extend(b"late-data")
+            pipe.wake_readers()
+            return Exit(0)
+
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    reader = node.spawn(PipeReader())
+    cluster.run_for(0.1)
+    node.signal_now(reader.pid, SIGSTOP)
+    node.spawn(Feeder(node, reader))
+    cluster.run_for(1.0)
+    # Data arrived while stopped: the process must NOT consume it yet.
+    assert reader.program.got is None
+    assert reader.stopped
+    node.signal_now(reader.pid, SIGCONT)
+    cluster.run_for(0.1)
+    assert reader.program.got == b"late-data"
+    assert reader.exit_code == 0
+
+
+def test_msg_dontwait_send_and_recv_return_eagain():
+    class NonBlocking(PhasedProgram):
+        initial_phase = "socket"
+
+        def __init__(self, ip):
+            super().__init__()
+            self.ip = ip
+            self.recv_errno = None
+            self.sent_total = 0
+            self.send_errno = None
+
+        def phase_socket(self, result):
+            self.goto("connect")
+            return sys("socket", "tcp")
+
+        def phase_connect(self, result):
+            self.fd = result
+            self.goto("try_recv")
+            return sys("connect", self.fd, self.ip, 7900)
+
+        def phase_try_recv(self, result):
+            self.goto("after_recv")
+            return sys("recv", self.fd, 100, flags=MSG_DONTWAIT)
+
+        def phase_after_recv(self, result):
+            if isinstance(result, SyscallError):
+                self.recv_errno = result.errno
+            self.goto("flood")
+            return self.phase_flood(None)
+
+        def phase_flood(self, result):
+            if isinstance(result, SyscallError):
+                self.send_errno = result.errno
+                return Exit(0)
+            if isinstance(result, int):
+                self.sent_total += result
+            return sys("send", self.fd, b"x" * 65536,
+                       flags=MSG_DONTWAIT)
+
+    class SilentServer(PhasedProgram):
+        """Accepts but never reads: the peer's send buffer fills."""
+
+        initial_phase = "socket"
+
+        def phase_socket(self, result):
+            self.goto("bind")
+            return sys("socket", "tcp")
+
+        def phase_bind(self, result):
+            self.fd = result
+            self.goto("listen")
+            return sys("bind", self.fd, None, 7900)
+
+        def phase_listen(self, result):
+            self.goto("accept")
+            return sys("listen", self.fd)
+
+        def phase_accept(self, result):
+            self.goto("stall")
+            return sys("accept", self.fd)
+
+        def phase_stall(self, result):
+            self.goto("stall")
+            return sys("sleep", 10.0)
+
+    cluster = make_cluster(n=2)
+    cluster.nodes[0].spawn(SilentServer())
+    client = cluster.nodes[1].spawn(
+        NonBlocking(str(cluster.nodes[0].stack.eth0.ip)))
+    cluster.run_for(5.0)
+    assert client.program.recv_errno == "EAGAIN"
+    assert client.program.send_errno == "EAGAIN"
+    assert client.program.sent_total > 0
+    assert client.exit_code == 0
+
+
+def test_program_crash_marks_process_and_spares_node():
+    class Buggy(PhasedProgram):
+        initial_phase = "boom"
+
+        def phase_boom(self, result):
+            raise ZeroDivisionError("app bug")
+
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    buggy = node.spawn(Buggy())
+    healthy = node.spawn(Sleeper(0.2))
+    cluster.run()
+    assert buggy.exit_code == -11
+    assert isinstance(buggy.crash_exception, ZeroDivisionError)
+    assert healthy.exit_code == 0
+
+
+def test_double_stop_and_double_continue_are_idempotent():
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    proc = node.spawn(ComputeLoop(iterations=100, work_s=0.01))
+    cluster.run_for(0.05)
+    node.signal_now(proc.pid, SIGSTOP)
+    node.signal_now(proc.pid, SIGSTOP)
+    cluster.run_for(0.2)
+    assert proc.state == ProcessState.STOPPED
+    node.signal_now(proc.pid, SIGCONT)
+    node.signal_now(proc.pid, SIGCONT)
+    cluster.run()
+    assert proc.exit_code == 0
+
+
+def test_signal_unknown_pid_raises():
+    cluster = make_cluster()
+    with pytest.raises(SyscallError, match="ESRCH"):
+        cluster.nodes[0].kill(999, SIGKILL)

@@ -1,0 +1,209 @@
+"""Cross-node networking through the full stack: syscalls down to frames."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net.dhcp import DHCP_CLIENT_PORT, DHCP_SERVER_PORT, DhcpMessage
+from repro.simos.netstack import BROADCAST_IP
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, SIOCGIFHWADDR, sys
+
+from tests.programs import EchoClient, EchoServer, PeekThenRead
+
+
+def make_cluster(n=2, **kwargs):
+    kwargs.setdefault("time_wait_s", 0.5)
+    return Cluster(n, **kwargs)
+
+
+def node_ip(cluster, index):
+    return str(cluster.nodes[index].stack.eth0.ip)
+
+
+def test_echo_between_nodes():
+    cluster = make_cluster()
+    server = cluster.nodes[0].spawn(EchoServer(port=7000))
+    messages = [b"hello", b"world", b"x" * 5000]
+    client = cluster.nodes[1].spawn(
+        EchoClient(node_ip(cluster, 0), 7000, messages))
+    cluster.run()
+    assert client.exit_code == 0
+    assert client.program.replies == messages
+    assert server.program.bytes_echoed == sum(len(m) for m in messages)
+
+
+def test_echo_on_same_node_uses_loopback():
+    cluster = make_cluster(n=1)
+    node = cluster.nodes[0]
+    node.spawn(EchoServer(port=7000))
+    client = node.spawn(EchoClient(node_ip(cluster, 0), 7000, [b"ping"]))
+    frames_before = cluster.nodes[0].stack.nic.tx_frames
+    cluster.run()
+    assert client.program.replies == [b"ping"]
+    # Loopback traffic never hits the wire.
+    assert cluster.nodes[0].stack.nic.tx_frames == frames_before
+
+
+def test_msg_peek_through_syscall_layer():
+    cluster = make_cluster()
+    server = cluster.nodes[0].spawn(PeekThenRead(port=7100))
+    cluster.nodes[1].spawn(
+        EchoClient(node_ip(cluster, 0), 7100, [b"abcdefgh"]))
+    cluster.run_for(5)
+    assert server.program.peeked == b"abcde"
+    # The consuming read sees the same bytes from the start.
+    assert server.program.consumed.startswith(b"abcde")
+
+
+def test_netfilter_blocks_and_unblocks_node_traffic():
+    cluster = make_cluster()
+    server_node, client_node = cluster.nodes
+    server_ip = server_node.stack.eth0.ip
+    server_node.spawn(EchoServer(port=7200))
+    client = client_node.spawn(
+        EchoClient(str(server_ip), 7200, [b"delayed"]))
+
+    rule_id = client_node.stack.netfilter.drop_all_for(server_ip)
+    cluster.run_for(1.0)
+    assert client.program.replies == []  # blocked
+
+    client_node.stack.netfilter.remove_rule(rule_id)
+    cluster.run_for(30.0)
+    assert client.program.replies == [b"delayed"]
+    assert client_node.stack.netfilter.dropped["OUTPUT"] > 0
+
+
+def test_arp_resolution_happens_once_per_destination():
+    cluster = make_cluster()
+    cluster.nodes[0].spawn(EchoServer(port=7300))
+    client = cluster.nodes[1].spawn(
+        EchoClient(node_ip(cluster, 0), 7300, [b"a", b"b", b"c"]))
+    cluster.run()
+    assert client.program.replies == [b"a", b"b", b"c"]
+    arp_cache = cluster.nodes[1].stack.arp.cache
+    assert cluster.nodes[0].stack.eth0.ip in arp_cache
+
+
+def test_ioctl_returns_interface_mac():
+    class AskMac(PhasedProgram):
+        initial_phase = "ask"
+
+        def __init__(self):
+            super().__init__()
+            self.mac = None
+
+        def phase_ask(self, result):
+            self.goto("done")
+            return sys("ioctl", SIOCGIFHWADDR, "eth0")
+
+        def phase_done(self, result):
+            self.mac = result
+            return Exit(0)
+
+    cluster = make_cluster(n=1)
+    proc = cluster.nodes[0].spawn(AskMac())
+    cluster.run()
+    assert proc.program.mac == cluster.nodes[0].stack.nic.primary_mac
+
+
+class UdpPinger(PhasedProgram):
+    initial_phase = "socket"
+
+    def __init__(self, bind_ip, dst_ip, dst_port):
+        super().__init__()
+        self.bind_ip = bind_ip
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.reply = None
+
+    def phase_socket(self, result):
+        self.goto("bind")
+        return sys("socket", "udp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("send")
+        return sys("bind", self.fd, self.bind_ip, 9001)
+
+    def phase_send(self, result):
+        self.goto("recv")
+        return sys("sendto", self.fd, b"ping", self.dst_ip, self.dst_port)
+
+    def phase_recv(self, result):
+        self.goto("done")
+        return sys("recvfrom", self.fd)
+
+    def phase_done(self, result):
+        self.reply = result
+        return Exit(0)
+
+
+class UdpPonger(PhasedProgram):
+    initial_phase = "socket"
+
+    def __init__(self, bind_ip, port):
+        super().__init__()
+        self.bind_ip = bind_ip
+        self.port = port
+
+    def phase_socket(self, result):
+        self.goto("bind")
+        return sys("socket", "udp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("recv")
+        return sys("bind", self.fd, self.bind_ip, self.port)
+
+    def phase_recv(self, result):
+        self.goto("reply")
+        return sys("recvfrom", self.fd)
+
+    def phase_reply(self, result):
+        payload, src_ip, src_port = result
+        self.goto("done")
+        return sys("sendto", self.fd, b"pong:" + payload, src_ip, src_port)
+
+    def phase_done(self, result):
+        return Exit(0)
+
+
+def test_udp_round_trip_between_nodes():
+    cluster = make_cluster()
+    cluster.nodes[0].spawn(UdpPonger(node_ip(cluster, 0), 9000))
+    pinger = cluster.nodes[1].spawn(
+        UdpPinger(node_ip(cluster, 1), node_ip(cluster, 0), 9000))
+    cluster.run()
+    payload, ip, port = pinger.program.reply
+    assert payload == b"pong:ping"
+    assert ip == node_ip(cluster, 0)
+    assert port == 9000
+
+
+def test_dhcp_server_answers_broadcast_discover():
+    cluster = make_cluster(n=2)
+    cluster.add_dhcp_server(node_index=0, pool_start=700)
+    client_node = cluster.nodes[1]
+    got = []
+    client_node.stack.udp.bind(
+        DHCP_CLIENT_PORT,
+        lambda payload, src, sport, dst: got.append(payload))
+    mac = client_node.stack.nic.primary_mac
+    client_node.stack.udp.send(
+        client_node.stack.eth0.ip, DHCP_CLIENT_PORT,
+        BROADCAST_IP, DHCP_SERVER_PORT,
+        DhcpMessage(kind="DISCOVER", xid=1, chaddr=mac), payload_size=300)
+    cluster.run_for(1.0)
+    assert got and got[0].kind == "OFFER"
+    assert got[0].yiaddr is not None
+
+
+def test_runtime_overhead_outside_pod_is_zero():
+    """Sanity for the cost model: no pod => no virtualisation surcharge."""
+    cluster = make_cluster(n=1)
+    node = cluster.nodes[0]
+    from tests.programs import ComputeLoop
+    proc = node.spawn(ComputeLoop(iterations=10, work_s=0.01))
+    cluster.run()
+    expected = 0.1 + 11 * cluster.costs.syscall_time
+    assert cluster.sim.now == pytest.approx(expected, rel=0.01)

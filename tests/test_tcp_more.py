@@ -1,0 +1,168 @@
+"""Additional TCP protocol behaviour: half-close, simultaneous close,
+window updates, RST edge cases, determinism."""
+
+import pytest
+
+from repro.tcp.state import TcpState
+
+from tests.helpers import make_pair
+from tests.test_tcp_connection import SinkApp, SourceApp, establish
+
+
+def test_half_close_peer_can_still_send():
+    """After our FIN, the peer may keep sending; we must deliver it."""
+    sim, wire, a, b = make_pair(time_wait_s=0.5)
+    client, server = establish(sim, a, b)
+    client.close()  # client -> server direction closes
+    sim.run(until=sim.now + 0.2)
+    assert server.peer_closed
+    assert client.state == TcpState.FIN_WAIT_2
+    # Server keeps talking on the open direction.
+    server.send(b"still-here")
+    sim.run(until=sim.now + 0.2)
+    assert client.read(100) == b"still-here"
+    server.close()
+    sim.run(until=sim.now + 2)
+    assert client.state == TcpState.CLOSED
+    assert server.state == TcpState.CLOSED
+
+
+def test_simultaneous_close_reaches_closed_on_both_ends():
+    sim, wire, a, b = make_pair(time_wait_s=0.3)
+    client, server = establish(sim, a, b)
+    client.close()
+    server.close()
+    sim.run(until=sim.now + 3)
+    assert client.state == TcpState.CLOSED
+    assert server.state == TcpState.CLOSED
+
+
+def test_window_updates_resume_a_full_receiver():
+    sim, wire, a, b = make_pair()
+    from repro.tcp.options import SocketOptions
+    options = SocketOptions(recv_buffer_bytes=8192)
+    client, server = establish(sim, a, b, options=options)
+    payload = b"w" * 30000
+    SourceApp(sim, client, payload)
+    sim.run(until=sim.now + 2)
+    assert server.receive_buffer.window == 0
+    got = bytearray()
+    # A single big read must reopen the window via an explicit update.
+    got.extend(server.read(1 << 20))
+    sim.run(until=sim.now + 5)
+    got.extend(server.read(1 << 20))
+    sim.run(until=sim.now + 10)
+    got.extend(server.read(1 << 20))
+    sim.run(until=sim.now + 10)
+    got.extend(server.read(1 << 20))
+    assert bytes(got) == payload
+
+
+def test_send_after_close_raises():
+    from repro.errors import TcpError
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    client.close()
+    with pytest.raises(TcpError):
+        client.send(b"too late")
+
+
+def test_data_to_closed_port_after_teardown_gets_rst():
+    sim, wire, a, b = make_pair(time_wait_s=0.05)
+    ip_a, stack_a = a
+    ip_b, stack_b = b
+    client, server = establish(sim, a, b)
+    # Destroy the server silently; the client doesn't know.
+    server.destroy()
+    client.send(b"into the void")
+    sim.run(until=sim.now + 2)
+    # The server stack RSTs the unknown segment; client resets.
+    assert client.state == TcpState.CLOSED
+    assert stack_b.rst_sent >= 1
+
+
+def test_retransmission_counters_exposed():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    blackout = {"on": False}
+    wire.drop_fn = lambda packet: blackout["on"]
+    SourceApp(sim, client, b"c" * 100000)
+    sim.run(until=sim.now + 0.01)
+    blackout["on"] = True
+    sim.run(until=sim.now + 0.5)
+    blackout["on"] = False
+    sim.run(until=sim.now + 10)
+    assert client.timeouts >= 1
+    assert client.segments_retransmitted >= client.timeouts
+    assert client.segments_transmitted > client.segments_retransmitted
+
+
+def test_transfer_is_deterministic_across_runs():
+    """Identical setup => identical packet-level trace."""
+
+    def run_once():
+        sim, wire, a, b = make_pair()
+        client, server = establish(sim, a, b)
+        SinkApp(sim, server)
+        SourceApp(sim, client, b"d" * 40000)
+        sim.run(until=sim.now + 5)
+        return [(round(t, 12), pkt.payload.seq, pkt.payload.ack,
+                 len(pkt.payload.payload)) for t, pkt in wire.log]
+
+    assert run_once() == run_once()
+
+
+def test_cluster_runs_are_deterministic():
+    from repro.cruz.cluster import CruzCluster
+    from repro.apps.ring import ring_factory
+
+    def run_once():
+        cluster = CruzCluster(3, time_wait_s=0.5)
+        app = cluster.launch_app_factory(
+            "ring", 3, ring_factory(3, max_token=500, padding=32))
+        cluster.run_for(0.3)
+        stats = cluster.checkpoint_app(app)
+        cluster.run_for(2.0)
+        tokens = [tuple(w.seen) for w in cluster.app_programs(app)]
+        return stats.latency_s, stats.coordination_overhead_s, tokens
+
+    assert run_once() == run_once()
+
+
+def test_keepalive_detects_dead_peer():
+    from repro.tcp.connection import (
+        KEEPALIVE_IDLE,
+        KEEPALIVE_INTERVAL,
+        KEEPALIVE_PROBES,
+    )
+    from repro.tcp.options import SocketOptions
+    sim, wire, a, b = make_pair()
+    options = SocketOptions(keepalive=True)
+    client, server = establish(sim, a, b, options=options)
+    client.start_keepalive()
+    # The peer silently vanishes (power loss: no FIN, no RST).
+    server.destroy()
+    wire.drop_fn = lambda packet: True
+    sim.run(until=sim.now + KEEPALIVE_IDLE +
+            (KEEPALIVE_PROBES + 2) * KEEPALIVE_INTERVAL + 1)
+    assert client.state == TcpState.CLOSED
+    assert client.peer_closed  # readers see EOF, not a hang
+
+
+def test_keepalive_leaves_live_idle_peer_alone():
+    from repro.tcp.connection import KEEPALIVE_IDLE
+    from repro.tcp.options import SocketOptions
+    sim, wire, a, b = make_pair()
+    options = SocketOptions(keepalive=True)
+    client, server = establish(sim, a, b, options=options)
+    client.start_keepalive()
+    server.start_keepalive()
+    # A long idle period with both ends alive: probes are answered and
+    # the connection survives.
+    sim.run(until=sim.now + KEEPALIVE_IDLE * 5)
+    assert client.state == TcpState.ESTABLISHED
+    assert server.state == TcpState.ESTABLISHED
+    client.send(b"still works")
+    sim.run(until=sim.now + 1)
+    assert server.read(100) == b"still works"

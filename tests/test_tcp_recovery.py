@@ -1,0 +1,235 @@
+"""TCP loss recovery: the machinery Cruz's coordinated checkpoint rides on.
+
+The paper drops all in-flight packets during a checkpoint and relies on
+TCP retransmission to recover (§3, §5). These tests verify that property at
+the transport layer, before any checkpoint code is involved.
+"""
+
+import pytest
+
+from repro.net.packet import PROTO_TCP
+from repro.tcp.state import TcpState
+
+from tests.helpers import make_pair
+from tests.test_tcp_connection import SinkApp, SourceApp, establish
+
+
+def test_single_data_segment_loss_recovered_by_rto():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+
+    dropped = []
+
+    def drop_first_data(packet):
+        seg = packet.payload
+        if seg.payload and not dropped:
+            dropped.append(seg)
+            return True
+        return False
+
+    wire.drop_fn = drop_first_data
+    client.send(b"important")
+    sim.run(until=sim.now + 5)
+    assert bytes(sink.received) == b"important"
+    assert client.segments_retransmitted >= 1
+    assert client.timeouts >= 1
+
+
+def test_fast_retransmit_on_dup_acks():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+
+    state = {"count": 0}
+
+    def drop_one_mid_stream(packet):
+        seg = packet.payload
+        if seg.payload and len(seg.payload) > 1000:
+            state["count"] += 1
+            # Drop one segment once the window is wide enough that at
+            # least three later segments generate duplicate ACKs.
+            if state["count"] == 12:
+                return True
+        return False
+
+    wire.drop_fn = drop_one_mid_stream
+    SourceApp(sim, client, b"x" * 30000)
+    sim.run(until=sim.now + 10)
+    assert bytes(sink.received) == b"x" * 30000
+    assert client.fast_retransmits >= 1
+
+
+def test_blackout_window_then_full_recovery():
+    """The netfilter-drop analogue: all packets dropped for 120 ms."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+    payload = b"y" * 200000
+    SourceApp(sim, client, payload)
+    sim.run(until=sim.now + 0.05)  # stream is flowing
+
+    blackout = {"active": True}
+    wire.drop_fn = lambda packet: blackout["active"]
+    sim.call_later(0.120, lambda: blackout.update(active=False))
+    sim.run(until=sim.now + 20)
+    assert bytes(sink.received) == payload
+    assert client.segments_retransmitted >= 1
+
+
+def test_ack_loss_is_harmless():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+
+    import random
+    rng = random.Random(7)
+
+    def drop_pure_acks_sometimes(packet):
+        seg = packet.payload
+        return (not seg.payload and seg.src_port == 5000
+                and rng.random() < 0.3)
+
+    wire.drop_fn = drop_pure_acks_sometimes
+    payload = b"z" * 50000
+    SourceApp(sim, client, payload)
+    sim.run(until=sim.now + 20)
+    assert bytes(sink.received) == payload
+
+
+def test_duplicated_delivery_is_idempotent():
+    """Packets received multiple times must not corrupt the stream (§4.1)."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+
+    original_send = wire.send
+
+    def duplicate_everything(packet):
+        original_send_packet(packet)
+        original_send_packet(packet)
+
+    def original_send_packet(packet):
+        original_send(packet)
+
+    wire.send = duplicate_everything
+    client.transmit = lambda seg, src, dst: wire.send(
+        _packet(seg, src, dst))
+
+    from repro.net.packet import IpPacket
+
+    def _packet(seg, src, dst):
+        return IpPacket(src=src, dst=dst, protocol=PROTO_TCP, payload=seg)
+
+    payload = b"d" * 20000
+    SourceApp(sim, client, payload)
+    sim.run(until=sim.now + 10)
+    assert bytes(sink.received) == payload
+
+
+def test_cwnd_collapses_on_timeout_and_regrows():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    SourceApp(sim, client, b"w" * 500000)
+    sim.run(until=sim.now + 0.05)
+    cwnd_before = client.tcb.cwnd
+    assert cwnd_before > 2 * client.tcb.options.mss  # slow start grew it
+
+    blackout = {"active": True}
+    wire.drop_fn = lambda packet: blackout["active"]
+    sim.run(until=sim.now + 0.5)  # several RTOs fire
+    assert client.tcb.cwnd == client.tcb.options.mss
+    assert client.tcb.backoff_count >= 1
+
+    blackout["active"] = False
+    sim.run(until=sim.now + 20)
+    assert client.tcb.cwnd > client.tcb.options.mss  # recovered
+
+
+def test_rto_exponential_backoff_and_reset():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+    rto_baseline = client.tcb.rto
+    blackout = {"active": True}
+    wire.drop_fn = lambda packet: blackout["active"]
+    client.send(b"stuck")
+    sim.run(until=sim.now + 3)
+    assert client.tcb.rto > rto_baseline * 2
+    blackout["active"] = False
+    sim.run(until=sim.now + 30)
+    # Delivery resumed and a fresh RTT sample resets backoff.
+    assert bytes(sink.received) == b"stuck"
+    assert client.tcb.backoff_count == 0
+
+
+def test_freeze_blocks_io_and_unfreeze_recovers():
+    """The spin-lock window of §4.1: no delivery or transmission while
+    the socket state is being captured."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    sink = SinkApp(sim, server)
+    payload = b"f" * 100000
+    SourceApp(sim, client, payload)
+    sim.run(until=sim.now + 0.02)
+
+    client.freeze()
+    server.freeze()
+    frozen_rcv = server.tcb.rcv_nxt
+    frozen_una = client.tcb.snd_una
+    sim.run(until=sim.now + 0.3)
+    # No state motion while frozen.
+    assert server.tcb.rcv_nxt == frozen_rcv
+    assert client.tcb.snd_una == frozen_una
+
+    client.unfreeze()
+    server.unfreeze()
+    sim.run(until=sim.now + 20)
+    assert bytes(sink.received) == payload
+
+
+def test_invariant_snd_una_lte_rcv_nxt_lte_snd_nxt_during_transfer():
+    """The §5.1 invariant, sampled at many arbitrary instants."""
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    SourceApp(sim, client, b"i" * 300000)
+    for _ in range(200):
+        sim.run(until=sim.now + 0.001)
+        una = client.tcb.snd_una
+        nxt = client.tcb.snd_nxt
+        rcv = server.tcb.rcv_nxt
+        assert una <= rcv <= nxt, (una, rcv, nxt)
+
+
+def test_invariant_holds_under_random_loss():
+    import random
+    rng = random.Random(42)
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    wire.drop_fn = lambda packet: rng.random() < 0.05
+    SourceApp(sim, client, b"r" * 100000)
+    for _ in range(300):
+        sim.run(until=sim.now + 0.005)
+        assert client.tcb.snd_una <= server.tcb.rcv_nxt <= client.tcb.snd_nxt
+
+
+def test_connection_survives_syn_loss():
+    sim, wire, a, b = make_pair()
+    ip_a, stack_a = a
+    ip_b, stack_b = b
+    stack_b.listen(ip_b, 5000)
+    state = {"drops": 0}
+
+    def drop_first_two(packet):
+        if state["drops"] < 2:
+            state["drops"] += 1
+            return True
+        return False
+
+    wire.drop_fn = drop_first_two
+    client = stack_a.connect(ip_a, ip_b, 5000)
+    sim.run_until_complete(client.established_event, limit=60)
+    assert client.state == TcpState.ESTABLISHED

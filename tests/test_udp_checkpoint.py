@@ -1,0 +1,141 @@
+"""UDP socket state across checkpoint/restart and migration."""
+
+from repro.cruz.cluster import CruzCluster
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, sys
+
+
+class UdpCollector(PhasedProgram):
+    """Binds a UDP port and collects datagrams forever."""
+
+    name = "udp-collector"
+    initial_phase = "socket"
+
+    def __init__(self, port=9950, expected=None):
+        super().__init__()
+        self.port = port
+        self.expected = expected
+        self.received = []
+
+    def phase_socket(self, result):
+        self.goto("bind")
+        return sys("socket", "udp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("collect")
+        return sys("bind", self.fd, None, self.port)
+
+    def phase_collect(self, result):
+        if isinstance(result, tuple):
+            self.received.append(result[0])
+            # UDP is lossy: finish on seeing the final sequence number,
+            # not on a count (some datagrams may never arrive).
+            if self.expected is not None and \
+                    self.received[-1][1] >= self.expected:
+                return Exit(0)
+        return sys("recvfrom", self.fd)
+
+
+class UdpBlaster(PhasedProgram):
+    """Sends numbered datagrams at a fixed cadence."""
+
+    name = "udp-blaster"
+    initial_phase = "socket"
+
+    def __init__(self, dst_ip, dst_port=9950, count=50,
+                 interval_s=0.01):
+        super().__init__()
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.count = count
+        self.interval_s = interval_s
+        self.sent = 0
+
+    def phase_socket(self, result):
+        self.goto("bind")
+        return sys("socket", "udp")
+
+    def phase_bind(self, result):
+        self.fd = result
+        self.goto("send")
+        return sys("bind", self.fd, None, 9951)
+
+    def phase_send(self, result):
+        if self.sent >= self.count:
+            return Exit(0)
+        self.sent += 1
+        self.goto("pause")
+        return sys("sendto", self.fd, ("dgram", self.sent),
+                   self.dst_ip, self.dst_port)
+
+    def phase_pause(self, result):
+        self.goto("send")
+        return sys("sleep", self.interval_s)
+
+
+def test_udp_receiver_migrates_and_keeps_binding():
+    cluster = CruzCluster(3, time_wait_s=0.5)
+    pod = cluster.create_pod(0, "udp-svc")
+    collector = pod.spawn(UdpCollector(expected=50))
+    cluster.nodes[2].spawn(UdpBlaster(str(pod.ip), count=50))
+    cluster.run_for(0.2)  # a chunk of datagrams received
+    received_before = len(collector.program.received)
+    assert 0 < received_before < 50
+    new_pod = cluster.migrate_pod(pod, target_node_index=1)
+    cluster.run_until(
+        lambda: not new_pod.processes()[0].is_alive, limit=60, step=0.1)
+    restored = new_pod.processes()[0]
+    assert restored.exit_code == 0
+    numbers = [m[1] for m in restored.program.received]
+    # UDP is lossy by design: datagrams in flight during the migration
+    # window may vanish, but ordering never breaks and the stream
+    # continues on the new node.
+    assert numbers == sorted(numbers)
+    assert numbers[-1] == 50
+    assert len(numbers) >= 40
+
+
+def test_udp_queued_datagrams_survive_checkpoint():
+    from tests.test_zap_checkpoint import engines, run_coroutine
+    from repro.zap.checkpoint import scrub_pod_network
+    from repro.zap.virtualization import uninstall_pod
+
+    cluster = CruzCluster(2, time_wait_s=0.5)
+    pod = cluster.create_pod(0, "udp-svc")
+    collector = pod.spawn(UdpCollector(expected=5))
+    cluster.run_for(0.05)
+    # Stop the process, then deliver datagrams that queue in the socket.
+    pod.stop_all()
+    for index in range(1, 4):
+        cluster.nodes[1].stack.udp.send(
+            cluster.nodes[1].stack.eth0.ip, 9951, pod.ip, 9950,
+            ("dgram", index))
+    cluster.run_for(0.05)
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored_pod = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    # The process was *user*-stopped at checkpoint time; restart must
+    # preserve that (it resumes only what the checkpoint itself stopped).
+    restored = restored_pod.processes()[0]
+    assert restored.stopped
+    cluster.run_for(0.05)
+    assert not restored.program.received  # still suspended
+    cluster.nodes[1].signal_now(restored.pid, "SIGCONT")
+    # Feed the final two datagrams to the restored binding.
+    for index in range(4, 6):
+        cluster.nodes[0].stack.udp.send(
+            cluster.nodes[0].stack.eth0.ip, 9951, restored_pod.ip, 9950,
+            ("dgram", index))
+    cluster.run_until(
+        lambda: not restored_pod.processes()[0].is_alive,
+        limit=30, step=0.1)
+    restored = restored_pod.processes()[0]
+    assert restored.exit_code == 0
+    # The three queued-at-checkpoint datagrams were restored in order.
+    assert [m[1] for m in restored.program.received] == [1, 2, 3, 4, 5]
+    del collector

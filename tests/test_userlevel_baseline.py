@@ -1,0 +1,105 @@
+"""The user-level library baseline: what it can do, and everything it
+cannot (the §2 comparison as tests)."""
+
+import pytest
+
+from repro.baselines.userlevel import (
+    UnsupportedResource,
+    UserLevelCheckpointer,
+)
+from repro.cluster import Cluster
+from repro.simos.process import SIGCONT, SIGKILL
+
+from tests.programs import ComputeLoop, EchoServer, PipeProducer, Sleeper
+
+
+class RelinkedComputeLoop(ComputeLoop):
+    """A compute program 're-linked' against the checkpoint library."""
+
+    checkpointable_with_library = True
+
+
+def make_cluster(n=2):
+    return Cluster(n, time_wait_s=0.5)
+
+
+def test_userlevel_checkpoints_relinked_compute_job():
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    proc = node.spawn(RelinkedComputeLoop(iterations=40, work_s=0.01))
+    cluster.run_for(0.15)
+    checkpointer = UserLevelCheckpointer()
+    image = checkpointer.checkpoint_process(proc)
+    node.signal_now(proc.pid, SIGKILL)
+    restored = checkpointer.restore_process(image, cluster.nodes[1])
+    cluster.run()
+    assert restored.exit_code == 0
+    assert restored.program.done == 40
+
+
+def test_userlevel_requires_application_modification():
+    """Unmodified applications are rejected — the transparency gap."""
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    proc = node.spawn(ComputeLoop(iterations=40, work_s=0.01))
+    cluster.run_for(0.1)
+    with pytest.raises(UnsupportedResource, match="re-linked"):
+        UserLevelCheckpointer().checkpoint_process(proc)
+
+
+def test_userlevel_refuses_sockets():
+    class RelinkedEchoServer(EchoServer):
+        checkpointable_with_library = True
+
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    ip = str(node.stack.eth0.ip)
+    proc = node.spawn(RelinkedEchoServer(port=8000, bind_ip=ip))
+    cluster.run_for(0.1)
+    with pytest.raises(UnsupportedResource, match="sockets"):
+        UserLevelCheckpointer().checkpoint_process(proc)
+
+
+def test_userlevel_refuses_pipes():
+    class RelinkedPipeUser(PipeProducer):
+        checkpointable_with_library = True
+
+    from tests.programs import SlowPipeline
+
+    class RelinkedSlowPipeline(SlowPipeline):
+        checkpointable_with_library = True
+
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    proc = node.spawn(RelinkedSlowPipeline())
+    cluster.run_for(0.3)  # sleeping with a loaded pipe
+    with pytest.raises(UnsupportedResource, match="pipes"):
+        UserLevelCheckpointer().checkpoint_process(proc)
+    del RelinkedPipeUser
+
+
+def test_userlevel_refuses_multiprocess_jobs():
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    procs = [node.spawn(RelinkedComputeLoop(iterations=10, work_s=0.01))
+             for _ in range(2)]
+    cluster.run_for(0.02)
+    with pytest.raises(UnsupportedResource, match="single process"):
+        UserLevelCheckpointer().checkpoint_job(procs)
+
+
+def test_userlevel_does_not_preserve_pids_unlike_zap():
+    """Restored processes get fresh PIDs; PID-dependent state breaks.
+    Zap's vPID namespace is exactly what removes this failure mode."""
+    cluster = make_cluster()
+    node = cluster.nodes[0]
+    proc = node.spawn(RelinkedComputeLoop(iterations=50, work_s=0.01))
+    cluster.run_for(0.1)
+    image = UserLevelCheckpointer().checkpoint_process(proc)
+    node.signal_now(proc.pid, SIGCONT)
+    target = cluster.nodes[1]
+    # The original pid is already taken on the target node.
+    for _ in range(image.original_pid + 3):
+        target.spawn(Sleeper(100.0))
+    restored = UserLevelCheckpointer().restore_process(image, target)
+    assert restored.pid != image.original_pid

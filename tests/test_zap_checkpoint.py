@@ -1,0 +1,304 @@
+"""Single-pod checkpoint/restart, including live TCP state (Cruz §4.1)."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cruz.netstate import CruzSocketCodec
+from repro.errors import CheckpointError
+from repro.zap.checkpoint import CheckpointEngine, scrub_pod_network
+from repro.zap.pod import Pod
+from repro.zap.restart import RestartEngine
+from repro.zap.socket_codec import BasicZapCodec
+from repro.zap.virtualization import install_pod, uninstall_pod
+
+from tests.programs import (
+    ComputeLoop,
+    EchoClient,
+    EchoServer,
+    ShmIncrementer,
+    Sleeper,
+)
+from tests.test_zap_virtualization import make_pod
+
+
+def make_cluster(n=2):
+    return Cluster(n, time_wait_s=0.5)
+
+
+def engines():
+    codec = CruzSocketCodec()
+    return CheckpointEngine(codec), RestartEngine(codec)
+
+
+def run_coroutine(cluster, generator, limit=1e6):
+    task = cluster.sim.process(generator)
+    return cluster.sim.run_until_complete(task, limit=limit)
+
+
+def test_checkpoint_is_nondestructive():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    proc = pod.spawn(ComputeLoop(iterations=50, work_s=0.01))
+    cluster.run_for(0.1)
+    ckpt, _ = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=True))
+    progress_at_ckpt = pickle.loads(image.processes[0].program_blob).done
+    cluster.run()
+    assert proc.exit_code == 0
+    assert proc.program.done == 50
+    assert 0 < progress_at_ckpt < 50
+
+
+def test_checkpoint_captures_point_in_time_state():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    pod.spawn(ComputeLoop(iterations=50, work_s=0.01))
+    cluster.run_for(0.1)
+    ckpt, _ = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=True))
+    frozen_done = pickle.loads(image.processes[0].program_blob).done
+    cluster.run_for(0.2)
+    # The image must not track the live process.
+    assert pickle.loads(image.processes[0].program_blob).done == frozen_done
+
+
+def test_restart_resumes_from_checkpoint_progress():
+    cluster = make_cluster()
+    pod = make_pod(cluster, 0)
+    pod.spawn(ComputeLoop(iterations=30, work_s=0.01))
+    cluster.run_for(0.1)
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run()
+    procs = restored.processes()
+    assert len(procs) == 1
+    assert procs[0].exit_code == 0
+    assert procs[0].program.done == 30
+
+
+def test_restart_preserves_vpids_despite_pid_collision():
+    cluster = make_cluster()
+    pod = make_pod(cluster, 0)
+    workers = [pod.spawn(ComputeLoop(iterations=1000, work_s=0.01))
+               for _ in range(3)]
+    original_pids = [w.pid for w in workers]
+    cluster.run_for(0.05)
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    # Occupy the original physical pid range on the target node.
+    target = cluster.nodes[1]
+    for _ in range(10):
+        target.spawn(Sleeper(1000.0))
+    restored = run_coroutine(cluster, rst.restart(image, target,
+                                                  resume=True))
+    cluster.run_for(0.1)
+    procs = restored.processes()
+    assert [restored.vpid_of(p.pid) for p in procs] == [1, 2, 3]
+    assert all(p.pid not in original_pids or True for p in procs)
+    # Physical pids collide-proof: they differ from the occupied range.
+    assert all(p.is_alive for p in procs)
+
+
+def test_image_is_reusable_for_multiple_restarts():
+    cluster_a = make_cluster()
+    pod = make_pod(cluster_a)
+    pod.spawn(ComputeLoop(iterations=20, work_s=0.01))
+    cluster_a.run_for(0.08)
+    ckpt, _ = engines()
+    image = run_coroutine(cluster_a, ckpt.checkpoint(pod, resume=False))
+    blob = pickle.dumps(image)
+
+    results = []
+    for _ in range(2):
+        cluster = make_cluster()
+        _, rst = engines()
+        restored = run_coroutine(
+            cluster, rst.restart(pickle.loads(blob), cluster.nodes[0],
+                                 resume=True))
+        cluster.run()
+        results.append(restored.processes()[0].program.done)
+    assert results == [20, 20]
+
+
+def test_checkpoint_restores_shm_and_semaphores():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    pod.spawn(ShmIncrementer(key=3, rounds=500, work_s=0.0001))
+    cluster.run_for(0.02)  # mid-run: ~200 of 500 rounds done
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run()
+    proc = restored.processes()[0]
+    assert proc.exit_code == 0
+    # Final counter is exactly 500: no lost or doubled increments.
+    physical = restored.vshm[1]
+    segment = cluster.nodes[1].ipc.shm_lookup(physical)
+    assert segment.payload["counter"] == 500
+
+
+def test_basic_zap_codec_refuses_live_connections():
+    """The gap Cruz closes: original Zap cannot save live socket state."""
+    cluster = make_cluster()
+    pod = make_pod(cluster, 0)
+    pod.spawn(EchoServer(port=8600))
+    client = cluster.nodes[1].spawn(
+        EchoClient(str(pod.ip), 8600, [b"x" * 5000000]))
+    cluster.run_for(0.01)  # mid-stream
+    ckpt = CheckpointEngine(BasicZapCodec())
+    with pytest.raises(CheckpointError, match="live TCP"):
+        run_coroutine(cluster, ckpt.checkpoint(pod, resume=True))
+    del client
+
+
+def test_cruz_codec_checkpoints_live_connection_and_stream_completes():
+    cluster = make_cluster()
+    pod = make_pod(cluster, 0)
+    server = pod.spawn(EchoServer(port=8700))
+    payload = b"y" * 5000000
+    client = cluster.nodes[1].spawn(
+        EchoClient(str(pod.ip), 8700, [payload]))
+    cluster.run_for(0.01)  # mid-stream
+    ckpt, _ = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=True))
+    assert image.sockets_captured >= 1
+    cluster.run_for(30)
+    assert client.program.replies == [payload]
+    assert server.program.bytes_echoed == len(payload)
+
+
+def test_migration_transparent_to_external_client():
+    """The headline §4.2 scenario: a pod serving an unmodified external
+    client is checkpointed mid-stream, killed, and restarted on another
+    node; the client's connection survives."""
+    cluster = Cluster(3, time_wait_s=0.5)
+    pod = make_pod(cluster, 0)
+    server = pod.spawn(EchoServer(port=8800))
+    payload = b"m" * 5000000
+    client = cluster.nodes[2].spawn(
+        EchoClient(str(pod.ip), 8800, [payload]))
+    cluster.run_for(0.02)  # stream in full flight
+    assert client.program.replies == []
+
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run_for(60)
+    assert client.exit_code == 0
+    assert client.program.replies == [payload]
+    restored_server = restored.processes()[0]
+    assert restored_server.program.bytes_echoed == len(payload)
+    del server
+
+
+def test_migration_with_shared_mac_hardware():
+    """Shared-MAC fallback: the pod keeps its IP, changes wire MAC, and
+    gratuitous ARP re-points the subnet (§4.2)."""
+    cluster = Cluster(3, time_wait_s=0.5,
+                      nic_supports_multiple_macs=False)
+    node0 = cluster.nodes[0]
+    pod = Pod(node0, "pod-shared", ip=cluster.allocate_pod_ip(),
+              mac=node0.stack.nic.primary_mac, own_wire_mac=False,
+              fake_mac=cluster.allocate_vif_mac())
+    install_pod(pod)
+    pod.spawn(EchoServer(port=8900))
+    payload = b"s" * 3000000
+    client = cluster.nodes[2].spawn(
+        EchoClient(str(pod.ip), 8900, [payload]))
+    cluster.run_for(0.02)
+
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run_for(60)
+    assert client.exit_code == 0
+    assert client.program.replies == [payload]
+    # Same IP, different wire MAC, same identity (fake) MAC.
+    assert restored.ip == pod.ip
+    assert restored.vif.mac == cluster.nodes[1].stack.nic.primary_mac
+    assert restored.vif.identity_mac == pod.fake_mac
+
+
+def test_checkpoint_preserves_pipe_contents():
+    from tests.programs import SlowPipeline
+
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    pod.spawn(SlowPipeline())
+    cluster.run_for(0.5)  # inside the sleep; pipe holds data
+    ckpt, rst = engines()
+    image = run_coroutine(cluster, ckpt.checkpoint(pod, resume=False))
+    assert image.pipes and image.pipes[0].buffer == b"buffered-in-kernel"
+    pod.kill_all()
+    uninstall_pod(pod)
+    restored = run_coroutine(
+        cluster, rst.restart(image, cluster.nodes[1], resume=True))
+    cluster.run()
+    assert restored.processes()[0].program.got == b"buffered-in-kernel"
+
+
+def test_checkpoint_latency_scales_with_memory():
+    cluster = make_cluster()
+    ckpt, _ = engines()
+
+    def measure(nbytes):
+        pod = make_pod(cluster, 0, name=f"pod-{nbytes}")
+        proc = pod.spawn(ComputeLoop(iterations=10000, work_s=0.001))
+        proc.memory.allocate("grid", nbytes)
+        cluster.run_for(0.01)
+        start = cluster.sim.now
+        run_coroutine(cluster, ckpt.checkpoint(pod, resume=True))
+        duration = cluster.sim.now - start
+        pod.kill_all()
+        uninstall_pod(pod)
+        return duration
+
+    small = measure(1 << 20)    # 1 MiB
+    large = measure(100 << 20)  # 100 MiB
+    assert large > small * 20  # dominated by disk write of memory state
+
+
+def test_incremental_checkpoint_writes_only_dirty_pages():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    proc = pod.spawn(ComputeLoop(iterations=10000, work_s=0.001))
+    proc.memory.allocate("grid", 50 << 20)
+    cluster.run_for(0.01)
+    ckpt, _ = engines()
+    first = run_coroutine(cluster,
+                          ckpt.checkpoint(pod, resume=True,
+                                          incremental=True))
+    # Nothing touched since: second incremental image is tiny.
+    second = run_coroutine(cluster,
+                           ckpt.checkpoint(pod, resume=True,
+                                           incremental=True))
+    assert first.written_bytes > (50 << 20)
+    assert second.written_bytes < (1 << 20)
+    # Touch half the region: third image is about half the first.
+    proc.memory.touch("grid", fraction=0.5)
+    third = run_coroutine(cluster,
+                          ckpt.checkpoint(pod, resume=True,
+                                          incremental=True))
+    assert (20 << 20) < third.written_bytes < (35 << 20)

@@ -1,0 +1,213 @@
+"""Zap virtualisation-layer tests: namespaces and syscall interposition."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.simos.program import PhasedProgram
+from repro.simos.syscalls import Exit, SIOCGIFHWADDR, sys
+from repro.zap.pod import Pod
+from repro.zap.virtualization import install_pod
+
+from tests.programs import EchoClient, EchoServer, ShmIncrementer, Sleeper
+
+
+def make_cluster(n=2):
+    return Cluster(n, time_wait_s=0.5)
+
+
+def make_pod(cluster, node_index=0, name=None):
+    node = cluster.nodes[node_index]
+    pod = Pod(node, name or f"pod{node_index}",
+              ip=cluster.allocate_pod_ip(), mac=cluster.allocate_vif_mac())
+    install_pod(pod)
+    return pod
+
+
+class PidReporter(PhasedProgram):
+    initial_phase = "ask"
+
+    def __init__(self):
+        super().__init__()
+        self.reported_pid = None
+
+    def phase_ask(self, result):
+        self.goto("done")
+        return sys("getpid")
+
+    def phase_done(self, result):
+        self.reported_pid = result
+        return Exit(0)
+
+
+def test_pod_processes_see_virtual_pids():
+    cluster = make_cluster()
+    # Burn physical pids so physical != virtual.
+    node = cluster.nodes[0]
+    for _ in range(5):
+        node.spawn(Sleeper(0.01))
+    pod = make_pod(cluster)
+    proc = pod.spawn(PidReporter())
+    cluster.run()
+    assert proc.pid > 5  # physical pid is large...
+    assert proc.program.reported_pid == 1  # ...but the pod sees vPID 1
+
+
+def test_vpids_are_per_pod():
+    cluster = make_cluster()
+    pod_a = make_pod(cluster, 0, "a")
+    pod_b = make_pod(cluster, 0, "b")
+    proc_a = pod_a.spawn(PidReporter())
+    proc_b = pod_b.spawn(PidReporter())
+    cluster.run()
+    assert proc_a.program.reported_pid == 1
+    assert proc_b.program.reported_pid == 1
+    assert proc_a.pid != proc_b.pid
+
+
+def test_kill_by_vpid_targets_pod_member():
+    class Killer(PhasedProgram):
+        initial_phase = "spawn"
+
+        def __init__(self):
+            super().__init__()
+            self.victim_vpid = None
+            self.reaped = None
+
+        def phase_spawn(self, result):
+            self.goto("kill")
+            return sys("spawn", Sleeper(100.0))
+
+        def phase_kill(self, result):
+            self.victim_vpid = result
+            self.goto("wait")
+            return sys("kill", self.victim_vpid, "SIGKILL")
+
+        def phase_wait(self, result):
+            self.goto("done")
+            return sys("waitpid", self.victim_vpid)
+
+        def phase_done(self, result):
+            self.reaped = result
+            return Exit(0)
+
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    proc = pod.spawn(Killer())
+    cluster.run()
+    assert proc.exit_code == 0
+    assert proc.program.victim_vpid == 2
+    assert proc.program.reaped == -9
+
+
+def test_shm_keys_are_pod_private():
+    cluster = make_cluster()
+    pod_a = make_pod(cluster, 0, "a")
+    pod_b = make_pod(cluster, 0, "b")
+    worker_a = pod_a.spawn(ShmIncrementer(key=5, rounds=3))
+    worker_b = pod_b.spawn(ShmIncrementer(key=5, rounds=7))
+    cluster.run()
+    assert worker_a.exit_code == 0 and worker_b.exit_code == 0
+    # Same app key, two distinct physical segments.
+    phys_a = pod_a.vshm[1]
+    phys_b = pod_b.vshm[1]
+    assert phys_a != phys_b
+    node = cluster.nodes[0]
+    assert node.ipc.shm_lookup(phys_a).payload["counter"] == 3
+    assert node.ipc.shm_lookup(phys_b).payload["counter"] == 7
+
+
+def test_bind_confined_to_pod_ip():
+    cluster = make_cluster()
+    pod = make_pod(cluster, 0)
+    server = pod.spawn(EchoServer(port=8000, bind_ip=None))  # INADDR_ANY
+    cluster.run_for(0.05)
+    # The listener is on the pod IP, not the node IP or ANY.
+    listeners = cluster.nodes[0].stack.tcp.listeners
+    assert any(key[0] == pod.ip for key in listeners)
+    assert not any(key[0] == cluster.nodes[0].stack.eth0.ip
+                   for key in listeners)
+    # An external, non-Zap client connects to the pod's address.
+    client = cluster.nodes[1].spawn(
+        EchoClient(str(pod.ip), 8000, [b"through-vif"]))
+    cluster.run_for(5)
+    assert client.program.replies == [b"through-vif"]
+    del server
+
+
+def test_connect_originates_from_pod_ip():
+    cluster = make_cluster()
+    pod = make_pod(cluster, 0)
+    server_node = cluster.nodes[1]
+    server = server_node.spawn(EchoServer(port=8100))
+    client = pod.spawn(EchoClient(str(server_node.stack.eth0.ip), 8100,
+                                  [b"outbound"]))
+    cluster.run_for(0.05)
+    # The pod-side connection record is bound to the pod IP (it lingers in
+    # TIME_WAIT after the exchange).
+    conns = list(cluster.nodes[0].stack.tcp.connections.values())
+    assert conns and all(c.tcb.local_ip == pod.ip for c in conns)
+    cluster.run_for(5)
+    assert client.program.replies == [b"outbound"]
+    del server
+
+
+class AskMac(PhasedProgram):
+    initial_phase = "ask"
+
+    def __init__(self, ifname="eth0"):
+        super().__init__()
+        self.ifname = ifname
+        self.mac = None
+
+    def phase_ask(self, result):
+        self.goto("done")
+        return sys("ioctl", SIOCGIFHWADDR, self.ifname)
+
+    def phase_done(self, result):
+        self.mac = result
+        return Exit(0)
+
+
+def test_ioctl_in_pod_returns_vif_identity_mac():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    proc = pod.spawn(AskMac(ifname="eth0"))  # pod asks for "eth0"
+    cluster.run()
+    # It gets the pod VIF's identity MAC, not the node NIC's.
+    assert proc.program.mac == pod.fake_mac
+    assert proc.program.mac != cluster.nodes[0].stack.nic.primary_mac
+
+
+def test_ioctl_fake_mac_survives_shared_mac_mode():
+    cluster = Cluster(2, time_wait_s=0.5,
+                      nic_supports_multiple_macs=False)
+    node = cluster.nodes[0]
+    fake = cluster.allocate_vif_mac()
+    pod = Pod(node, "pod-shared", ip=cluster.allocate_pod_ip(),
+              mac=node.stack.nic.primary_mac, own_wire_mac=False,
+              fake_mac=fake)
+    install_pod(pod)
+    proc = pod.spawn(AskMac())
+    cluster.run()
+    assert proc.program.mac == fake
+    # On the wire the VIF shares the physical MAC.
+    assert pod.vif.mac == node.stack.nic.primary_mac
+
+
+def test_two_pods_same_node_isolated_tcp():
+    cluster = make_cluster()
+    pod_a = make_pod(cluster, 0, "a")
+    pod_b = make_pod(cluster, 0, "b")
+    pod_a.spawn(EchoServer(port=8200))
+    client = pod_b.spawn(EchoClient(str(pod_a.ip), 8200, [b"pod2pod"]))
+    cluster.run_for(5)
+    assert client.program.replies == [b"pod2pod"]
+
+
+def test_interposer_counts_syscalls():
+    cluster = make_cluster()
+    pod = make_pod(cluster)
+    pod.spawn(PidReporter())
+    cluster.run()
+    interposer = cluster.nodes[0].interposers[pod.pod_id]
+    assert interposer.intercept_count >= 1
