@@ -57,7 +57,9 @@ class FlushAgent:
     def __init__(self, node: Node, store: ImageStore):
         self.node = node
         self.store = store
-        self.engine = CheckpointEngine(CruzSocketCodec())
+        # Same chunk-backed save path as the Cruz agents: the baselines
+        # must differ only in coordination protocol, not storage cost.
+        self.engine = CheckpointEngine(CruzSocketCodec(), store=store)
         self.pods: Dict[str, Pod] = {}
         self.peer_ips: List[Ipv4Address] = []
         self._markers: Dict[int, Dict] = {}
@@ -139,7 +141,6 @@ class FlushAgent:
         drained_at = sim.now
         # Local checkpoint (channels are empty; socket state is trivial).
         image = yield from self.engine.checkpoint(pod, resume=False)
-        self.store.save(image)
         self._send(coordinator_ip, FLUSH_COORDINATOR_PORT, ControlMessage(
             kind=FLUSH_DONE, epoch=message.epoch, pod_name=pod.name,
             node_name=self.node.name,

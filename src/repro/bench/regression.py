@@ -1,0 +1,131 @@
+"""Wall-clock regression guard over pytest-benchmark reports.
+
+``python -m repro bench --save`` records the Fig. 5 benchmark timings to
+``benchmarks/BENCH_fig5.json``; ``python -m repro bench --compare`` re-runs
+them and fails when any benchmark's mean regressed more than the tolerance
+(20 % by default) against the committed baseline. The comparison itself is
+pure-function so it is unit-testable without spawning pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: The Fig. 5 benchmarks the guard watches.
+BENCH_FILES = [
+    "benchmarks/test_fig5a_checkpoint_latency.py",
+    "benchmarks/test_fig5b_coordination_overhead.py",
+]
+DEFAULT_BASELINE = "benchmarks/BENCH_fig5.json"
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass
+class Comparison:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_s <= 0:
+            return 1.0
+        return self.current_s / self.baseline_s
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.tolerance
+
+
+def load_report(path: str) -> Dict[str, float]:
+    """benchmark name -> mean seconds, from a pytest-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in report.get("benchmarks", [])}
+
+
+def compare_reports(baseline: Dict[str, float],
+                    current: Dict[str, float],
+                    tolerance: float = DEFAULT_TOLERANCE
+                    ) -> List[Comparison]:
+    """Compare means for every benchmark present in both reports."""
+    rows = []
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        rows.append(Comparison(name=name, baseline_s=baseline[name],
+                               current_s=current[name],
+                               tolerance=tolerance))
+    return rows
+
+
+def run_benchmarks(json_path: str) -> int:
+    """Run the Fig. 5 benchmarks, writing a pytest-benchmark report."""
+    env = dict(os.environ)
+    src = os.path.join(os.getcwd(), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "") \
+        if env.get("PYTHONPATH") else src
+    command = [sys.executable, "-m", "pytest", *BENCH_FILES,
+               "--benchmark-only", "-q",
+               f"--benchmark-json={json_path}"]
+    return subprocess.call(command, env=env)
+
+
+def save_baseline(baseline_path: str = DEFAULT_BASELINE) -> int:
+    status = run_benchmarks(baseline_path)
+    if status == 0:
+        names = load_report(baseline_path)
+        print(f"saved baseline for {len(names)} benchmarks "
+              f"to {baseline_path}")
+    return status
+
+
+def check_regression(baseline_path: str = DEFAULT_BASELINE,
+                     tolerance: float = DEFAULT_TOLERANCE) -> int:
+    """Re-run the benchmarks and compare; exit status 1 on regression."""
+    if not os.path.exists(baseline_path):
+        print(f"no baseline at {baseline_path}; run "
+              f"`python -m repro bench --save` first", file=sys.stderr)
+        return 2
+    try:
+        # Parse the baseline BEFORE the (minutes-long) benchmark run.
+        baseline = load_report(baseline_path)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"unreadable baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory() as tmp:
+        current_path = os.path.join(tmp, "bench.json")
+        status = run_benchmarks(current_path)
+        if status != 0:
+            print("benchmark run failed", file=sys.stderr)
+            return status
+        rows = compare_reports(baseline, load_report(current_path),
+                               tolerance=tolerance)
+    if not rows:
+        print("no overlapping benchmarks between baseline and current",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for row in rows:
+        verdict = "REGRESSED" if row.regressed else "ok"
+        print(f"{row.name}: baseline {row.baseline_s:.4f}s "
+              f"current {row.current_s:.4f}s "
+              f"({row.ratio:.2f}x baseline) {verdict}")
+        failed = failed or row.regressed
+    if failed:
+        print(f"FAIL: wall-clock regression exceeds "
+              f"{tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("benchmark wall-clock within tolerance")
+    return 0

@@ -114,6 +114,14 @@ def _cmd_demo(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import regression
+    if args.save:
+        return regression.save_baseline(args.baseline)
+    return regression.check_regression(args.baseline,
+                                       tolerance=args.tolerance)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig4 = sub.add_parser("fig4", help="early-resume optimisation")
     fig4.set_defaults(fn=_cmd_fig4)
+
+    bench = sub.add_parser(
+        "bench", help="Fig. 5 benchmark wall-clock regression guard")
+    bench.add_argument("--save", action="store_true",
+                       help="record a new baseline instead of comparing")
+    bench.add_argument("--compare", action="store_true",
+                       help="compare against the baseline (default)")
+    bench.add_argument("--baseline",
+                       default="benchmarks/BENCH_fig5.json")
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed fractional slowdown (default 0.2)")
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

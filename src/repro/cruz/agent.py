@@ -48,7 +48,9 @@ class CheckpointAgent:
         self.continue_timeout_s = continue_timeout_s
         self.unilateral_aborts = 0
         codec = codec if codec is not None else CruzSocketCodec()
-        self.checkpoint_engine = CheckpointEngine(codec)
+        # The engine saves through the chunk store itself, so serialization
+        # pipelines with the disk write and written_bytes is measured.
+        self.checkpoint_engine = CheckpointEngine(codec, store=store)
         self.restart_engine = RestartEngine(codec)
         self.pods: Dict[str, Pod] = {}
         #: epoch -> {"continue": Event, "aborted": bool}
@@ -160,14 +162,17 @@ class CheckpointAgent:
         image = yield from self.checkpoint_engine.checkpoint(
             pod, resume=message.concurrent,
             incremental=message.incremental,
+            dedup=message.dedup,
             concurrent=message.concurrent)
-        version = self.store.save(image)
+        version = image.version
         local_checkpoint_s = sim.now - started
         # Step 3: report done; Step 4: wait for <continue>.
         self._send(coordinator_ip, ControlMessage(
             kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
             node_name=self.node.name,
-            local_checkpoint_s=local_checkpoint_s))
+            local_checkpoint_s=local_checkpoint_s,
+            new_chunk_bytes=image.written_bytes,
+            total_chunk_bytes=image.total_chunk_bytes))
         yield from self._await_continue(state)
         # Steps 5-7: resume, re-enable communication, report.
         resume_started = sim.now
@@ -205,6 +210,7 @@ class CheckpointAgent:
         save_task = sim.process(
             self.checkpoint_engine.checkpoint(
                 pod, resume=False, incremental=message.incremental,
+                dedup=message.dedup,
                 on_captured=lambda: captured.succeed()
                 if not captured.triggered else None),
             name=f"save({pod.name})")
@@ -217,7 +223,7 @@ class CheckpointAgent:
             yield sim.timeout(costs.netfilter_update)
             removed_early = True
         image = yield save_task
-        version = self.store.save(image)
+        version = image.version
         local_checkpoint_s = sim.now - started
         resume_started = sim.now
         pod.continue_all()
@@ -233,7 +239,9 @@ class CheckpointAgent:
                 kind=protocol.DONE, epoch=message.epoch,
                 pod_name=pod.name, node_name=self.node.name,
                 local_checkpoint_s=local_checkpoint_s,
-                local_continue_s=sim.now - resume_started))
+                local_continue_s=sim.now - resume_started,
+                new_chunk_bytes=image.written_bytes,
+                total_chunk_bytes=image.total_chunk_bytes))
         self._rounds.pop(message.epoch, None)
 
     # -- restart --------------------------------------------------------------
@@ -276,12 +284,12 @@ class CheckpointAgent:
         self._rounds.pop(message.epoch, None)
 
     def local_checkpoint(self, pod: Pod, resume: bool = True,
-                         incremental: bool = False) -> Generator:
+                         incremental: bool = False,
+                         dedup: bool = False) -> Generator:
         """Uncoordinated single-pod checkpoint (LSF integration path)."""
         image = yield from self.checkpoint_engine.checkpoint(
-            pod, resume=resume, incremental=incremental)
-        version = self.store.save(image)
-        return version
+            pod, resume=resume, incremental=incremental, dedup=dedup)
+        return image.version
 
 
 class AgentError(CoordinationError):

@@ -119,12 +119,14 @@ class CruzCluster(Cluster):
 
     def checkpoint_app(self, app: DistributedApp, optimized: bool = False,
                        incremental: bool = False,
+                       dedup: bool = False,
                        early_network: bool = False,
                        concurrent: bool = False,
                        limit: float = 1e6) -> RoundStats:
         """Run one coordinated checkpoint round to completion."""
         task = self.sim.process(self.coordinator.checkpoint(
             app, optimized=optimized, incremental=incremental,
+            dedup=dedup,
             early_network=early_network, concurrent=concurrent))
         return self.sim.run_until_complete(task, limit=limit)
 
@@ -185,8 +187,9 @@ class CruzCluster(Cluster):
             rule_id = source_node.stack.netfilter.drop_all_for(pod.ip)
             yield self.sim.timeout(source_node.costs.netfilter_update)
             try:
+                # The engine commits the image through the chunk store
+                # itself; image.version identifies the stored copy.
                 image = yield from engine.checkpoint(pod, resume=False)
-                self.store.save(image)
                 scrub_pod_network(pod)
                 pod.kill_all()
                 uninstall_pod(pod)

@@ -116,6 +116,7 @@ class CheckpointCoordinator:
 
     def checkpoint(self, app: DistributedApp, optimized: bool = False,
                    incremental: bool = False,
+                   dedup: bool = False,
                    early_network: bool = False,
                    concurrent: bool = False) -> Generator:
         """Coordinated checkpoint; value is the round's RoundStats.
@@ -133,7 +134,8 @@ class CheckpointCoordinator:
                 "communication")
         return (yield from self._run_round(
             app, protocol.CHECKPOINT, optimized=optimized,
-            incremental=incremental, early_network=early_network,
+            incremental=incremental, dedup=dedup,
+            early_network=early_network,
             concurrent=concurrent))
 
     def restart(self, app_name: str, members: Members,
@@ -145,6 +147,7 @@ class CheckpointCoordinator:
 
     def _run_round(self, app: DistributedApp, kind: str,
                    optimized: bool = False, incremental: bool = False,
+                   dedup: bool = False,
                    members: Optional[Members] = None,
                    version: int = 0, early_network: bool = False,
                    concurrent: bool = False) -> Generator:
@@ -171,6 +174,7 @@ class CheckpointCoordinator:
                 self._send(agent_ip, ControlMessage(
                     kind=kind, epoch=epoch, pod_name=pod_name,
                     optimized=optimized, incremental=incremental,
+                    dedup=dedup,
                     version=version, early_network=early_network,
                     concurrent=concurrent))
                 stats.messages_sent += 1
@@ -225,10 +229,14 @@ class CheckpointCoordinator:
 
     @staticmethod
     def _fill_local_ops(stats: RoundStats, messages) -> None:
+        messages = list(messages)
         stats.max_local_op_s = max(
             (m.local_checkpoint_s for m in messages), default=0.0)
         continue_s = max((m.local_continue_s for m in messages),
                          default=0.0)
         stats.max_local_continue_s = max(stats.max_local_continue_s,
                                          continue_s)
+        stats.new_chunk_bytes = sum(m.new_chunk_bytes for m in messages)
+        stats.total_chunk_bytes = sum(m.total_chunk_bytes
+                                      for m in messages)
 

@@ -41,6 +41,9 @@ class ControlMessage:
     optimized: bool = False
     #: Incremental checkpoint (dirty pages only).
     incremental: bool = False
+    #: Content-address every chunk and skip those already stored, without
+    #: relying on dirty-page tracking (hash-everything dedup mode).
+    dedup: bool = False
     #: §5.2 TCP-backoff optimisation: re-enable communication as soon as
     #: the communication state is captured (requires ``optimized`` — the
     #: filter may only drop early once every node has disabled comms).
@@ -52,6 +55,10 @@ class ControlMessage:
     #: compute coordination overhead exactly as §6 does.
     local_checkpoint_s: float = 0.0
     local_continue_s: float = 0.0
+    #: DONE only: bytes of new chunks this save actually moved to the
+    #: store, and total logical bytes the image references there.
+    new_chunk_bytes: int = 0
+    total_chunk_bytes: int = 0
     #: Failure-injection/abort reason.
     reason: str = ""
     #: Wire size estimate.
@@ -82,11 +89,22 @@ class RoundStats:
     messages_received: int = 0
     committed: bool = False
     aborted: bool = False
+    #: Sum over nodes of bytes of new chunks written to the store this
+    #: round, and of total chunk bytes the round's images reference.
+    new_chunk_bytes: int = 0
+    total_chunk_bytes: int = 0
 
     @property
     def coordination_overhead_s(self) -> float:
         """§6: latency minus the (parallel) local operations."""
         return self.latency_s - self.max_local_op_s
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of referenced chunk bytes NOT rewritten this round."""
+        if self.total_chunk_bytes <= 0:
+            return 0.0
+        return 1.0 - self.new_chunk_bytes / self.total_chunk_bytes
 
     @property
     def total_messages(self) -> int:

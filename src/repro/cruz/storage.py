@@ -1,76 +1,555 @@
 """Checkpoint image storage on the network-accessible filesystem.
 
 Zap "relies on a network-accessible file system that is accessible from any
-machine on which the application may be restarted" (§2). The store pickles
-images into the cluster's shared filesystem so any node can restart any pod,
-and keeps a version history per pod for rollback.
+machine on which the application may be restarted" (§2). Images are stored
+*chunked and content-addressed* so the §5.2 incremental/copy-on-write
+optimisations are real byte movement, not accounting:
+
+* Every :class:`~repro.zap.image.CheckpointImage` is split into chunks —
+  one page-granular chunk per memory page, plus one blob chunk per program
+  image, socket state, pipe buffer and shm segment. A chunk's address is a
+  content hash; a page's logical content is fully determined by its
+  ``(pod, vpid, region, page, write-version)`` identity (see
+  :class:`~repro.simos.memory.AddressSpace`), so an untouched page hashes
+  to the same chunk in every epoch and is stored exactly once.
+* A small pickled *manifest* per version records the image metadata and
+  the chunk references; ``load`` reconstructs the image from it.
+* Chunks are refcounted: ``discard``/``prune`` decrement and a chunk is
+  deleted only when no surviving version references it.
+* The version index is *derived from the filesystem* (manifests are
+  scanned on first use), so a coordinator restarted on a different node
+  finds every version that survives in the shared filesystem.
+
+Save modes:
+
+``full``          rewrite every chunk (the paper's baseline: every round
+                  writes the whole state).
+``dedup``         hash everything, write only chunks not already stored.
+``incremental``   additionally use the dirty-page bits to skip even
+                  hashing clean pages (§5.2 incremental checkpointing).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import CheckpointError
 from repro.simos.filesystem import SharedFileSystem
-from repro.zap.image import CheckpointImage, freeze_object, thaw_object
+from repro.simos.memory import PAGE_SIZE, AddressSpace
+from repro.zap.image import (
+    CheckpointImage,
+    FdImage,
+    PipeImage,
+    ProcessImage,
+    SemImage,
+    ShmImage,
+    freeze_object,
+    thaw_object,
+)
+
+#: fd kinds whose (potentially large) detail payloads get their own chunk.
+_CHUNKED_FD_KINDS = ("tcp_socket", "udp_socket")
+
+MANIFEST_FORMAT = 1
+
+
+def blob_chunk_id(blob: bytes) -> str:
+    """Content address of an opaque byte blob."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def page_chunk_id(pod_name: str, vpid: int, region: str,
+                  page_index: int, version: int) -> str:
+    """Content address of one memory page.
+
+    The simulated address space tracks page *identity* (region, index,
+    write-version) rather than byte content; the page's synthetic content
+    is expanded deterministically from that identity (see
+    :func:`page_chunk_payload`), so hashing the identity and hashing the
+    content are equivalent.
+    """
+    identity = f"page|{pod_name}|{vpid}|{region}|{page_index}|{version}"
+    return hashlib.sha256(identity.encode()).hexdigest()
+
+
+def page_chunk_payload(cid: str) -> bytes:
+    """The PAGE_SIZE bytes stored for a page chunk (seed-expanded)."""
+    return bytes.fromhex(cid) * (PAGE_SIZE // 32)
+
+
+def iter_page_chunks(pod_name: str, vpid: int,
+                     memory: AddressSpace) -> Iterator[Tuple[str, int]]:
+    """Yield ``(chunk_id, absolute_page)`` for every page of a process.
+
+    Deterministic enumeration order — save, GC and index rebuild must all
+    walk the identical sequence so refcounts balance.
+    """
+    for name in sorted(memory.regions):
+        region = memory.regions[name]
+        for index in range(region.page_count):
+            page = region.base_page + index
+            version = memory.page_versions.get(page, 0)
+            yield (page_chunk_id(pod_name, vpid, name, index, version),
+                   page)
+
+
+class ChunkStore:
+    """Content-addressed, refcounted chunks in the shared filesystem."""
+
+    def __init__(self, fs: SharedFileSystem,
+                 root: str = "/checkpoints/.chunks"):
+        self.fs = fs
+        self.root = root
+        self.refcounts: Dict[str, int] = {}
+        # Byte-movement counters (the measured quantities the benchmarks
+        # read; distinct from the simulated-time accounting).
+        self.chunks_written = 0
+        self.bytes_written = 0
+        self.bytes_deduped = 0
+        self.chunks_removed = 0
+        self.bytes_removed = 0
+
+    def _path(self, cid: str) -> str:
+        return f"{self.root}/{cid[:2]}/{cid}"
+
+    def contains(self, cid: str) -> bool:
+        return self.fs.exists(self._path(cid))
+
+    def write(self, cid: str, payload: bytes, force: bool = False) -> int:
+        """Store a chunk; returns bytes actually moved (0 if dedup'd)."""
+        path = self._path(cid)
+        if self.fs.exists(path) and not force:
+            self.bytes_deduped += len(payload)
+            return 0
+        self.fs.create(path)
+        self.fs.write_at(path, 0, payload)
+        self.chunks_written += 1
+        self.bytes_written += len(payload)
+        return len(payload)
+
+    def read(self, cid: str) -> bytes:
+        path = self._path(cid)
+        if not self.fs.exists(path):
+            raise CheckpointError(f"missing chunk {cid}")
+        return self.fs.read_at(path, 0, self.fs.size(path))
+
+    def incref(self, cid: str) -> None:
+        self.refcounts[cid] = self.refcounts.get(cid, 0) + 1
+
+    def decref(self, cid: str) -> bool:
+        """Drop one reference; unlink the chunk when none remain."""
+        remaining = self.refcounts.get(cid, 0) - 1
+        if remaining > 0:
+            self.refcounts[cid] = remaining
+            return False
+        self.refcounts.pop(cid, None)
+        path = self._path(cid)
+        if self.fs.exists(path):
+            self.bytes_removed += self.fs.size(path)
+            self.fs.unlink(path)
+            self.chunks_removed += 1
+        return True
+
+
+@dataclass
+class _PlannedChunk:
+    cid: str
+    nbytes: int
+    write: bool
+    force: bool
+    #: Blob payload; None for pages (expanded from the cid on demand).
+    payload: Optional[bytes] = None
+
+
+@dataclass
+class SavePlan:
+    """What one ``save`` will move, and how the write pipelines.
+
+    ``groups`` holds one ``(serialize_bytes, write_bytes)`` pair per
+    process (plus a tail group for pipes/shm): serialization of process
+    *i+1* overlaps the disk write of process *i* — the §5.2 pipeline.
+    """
+
+    mode: str
+    chunks: List[_PlannedChunk] = field(default_factory=list)
+    groups: List[Tuple[int, int]] = field(default_factory=list)
+    total_bytes: int = 0
+    write_bytes: int = 0
+    serialize_bytes: int = 0
+    chunks_total: int = 0
+    chunks_new: int = 0
+    manifest: Optional[Dict[str, Any]] = None
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of referenced bytes NOT rewritten this save."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return 1.0 - self.write_bytes / self.total_bytes
+
+    def schedule(self, costs) -> Tuple[float, float]:
+        """(serialize_window_s, pipeline_total_s) for the cost model.
+
+        Serialization is sequential (one CPU copies the state out); each
+        group's disk write starts as soon as both that group is serialized
+        and the disk is free — the two-stage pipeline bound.
+        """
+        serialized = 0.0
+        write_free = 0.0
+        for serialize_bytes, write_bytes in self.groups:
+            serialized += serialize_bytes / costs.serialize_bandwidth
+            write_free = max(serialized, write_free) \
+                + write_bytes / costs.disk_write_bandwidth
+        return serialized, max(write_free, serialized)
 
 
 class ImageStore:
-    """Versioned checkpoint images in the shared filesystem."""
+    """Versioned, chunk-deduplicated checkpoint images in the shared FS."""
 
     def __init__(self, fs: SharedFileSystem, root: str = "/checkpoints"):
         self.fs = fs
         self.root = root
-        self._versions: Dict[str, int] = {}
+        self.chunks = ChunkStore(fs, root=f"{root}/.chunks")
+        self._latest: Dict[str, int] = {}
+        self._attached = False
+        self.last_plan: Optional[SavePlan] = None
 
-    def _path(self, pod_name: str, version: int) -> str:
-        return f"{self.root}/{pod_name}/v{version:06d}.img"
+    # -- paths and the persistent index -----------------------------------
 
-    def save(self, image: CheckpointImage) -> int:
-        """Persist an image; returns its version number."""
-        version = self._versions.get(image.pod_name, 0) + 1
-        self._versions[image.pod_name] = version
-        path = self._path(image.pod_name, version)
-        blob = freeze_object(image)
-        self.fs.create(path)
-        self.fs.write_at(path, 0, blob)
-        return version
+    def _manifest_path(self, pod_name: str, version: int) -> str:
+        return f"{self.root}/{pod_name}/v{version:06d}.manifest"
 
-    def load(self, pod_name: str,
-             version: Optional[int] = None) -> CheckpointImage:
-        if version is None:
-            version = self.latest_version(pod_name)
-        path = self._path(pod_name, version)
-        if not self.fs.exists(path):
-            raise CheckpointError(
-                f"no checkpoint v{version} for pod {pod_name!r}")
-        blob = self.fs.read_at(path, 0, self.fs.size(path))
-        return thaw_object(blob)
+    def _ensure_attached(self) -> None:
+        """Rebuild the version index and chunk refcounts from the FS.
+
+        Runs once per store instance. A coordinator restarted on another
+        node constructs a fresh ImageStore over the same shared
+        filesystem; scanning the surviving manifests recovers everything
+        the in-memory index held.
+        """
+        if self._attached:
+            return
+        self._attached = True
+        for path in self.fs.listdir(f"{self.root}/"):
+            if not path.endswith(".manifest"):
+                continue
+            manifest = thaw_object(
+                self.fs.read_at(path, 0, self.fs.size(path)))
+            meta = manifest["meta"]
+            pod_name, version = meta["pod_name"], meta["version"]
+            self._latest[pod_name] = max(
+                self._latest.get(pod_name, 0), version)
+            for cid, _nbytes in self._manifest_chunk_refs(manifest):
+                self.chunks.incref(cid)
+
+    def versions(self, pod_name: str) -> List[int]:
+        """Versions whose manifests actually exist in the filesystem."""
+        self._ensure_attached()
+        found = []
+        prefix = f"{self.root}/{pod_name}/v"
+        for path in self.fs.listdir(prefix):
+            tail = path[len(prefix):]
+            if tail.endswith(".manifest") and \
+                    tail[:-len(".manifest")].isdigit():
+                found.append(int(tail[:-len(".manifest")]))
+        return sorted(found)
 
     def latest_version(self, pod_name: str) -> int:
-        version = self._versions.get(pod_name, 0)
+        self._ensure_attached()
+        version = self._latest.get(pod_name)
+        if version is None:
+            existing = self.versions(pod_name)
+            version = max(existing) if existing else 0
+            self._latest[pod_name] = version
         if version == 0:
             raise CheckpointError(f"no checkpoints for pod {pod_name!r}")
         return version
 
-    def versions(self, pod_name: str) -> List[int]:
-        return list(range(1, self._versions.get(pod_name, 0) + 1))
+    # -- chunk planning ----------------------------------------------------
+
+    def plan(self, image: CheckpointImage, mode: str = "full") -> SavePlan:
+        """Split the image into chunks and decide what must be written."""
+        if mode not in ("full", "dedup", "incremental"):
+            raise CheckpointError(f"unknown save mode {mode!r}")
+        self._ensure_attached()
+        plan = SavePlan(mode=mode)
+        planned: set = set()
+
+        def add(cid: str, nbytes: int, payload: Optional[bytes],
+                must_hash: bool) -> Tuple[bool, int]:
+            """Plan one chunk; returns (written?, serialize_bytes)."""
+            if mode == "full":
+                write = True
+            else:
+                write = cid not in planned and not self.chunks.contains(cid)
+            planned.add(cid)
+            plan.chunks.append(_PlannedChunk(
+                cid=cid, nbytes=nbytes, write=write,
+                force=(mode == "full"), payload=payload))
+            plan.chunks_total += 1
+            plan.total_bytes += nbytes
+            if write:
+                plan.chunks_new += 1
+                plan.write_bytes += nbytes
+            serialize = nbytes if (must_hash or write) else 0
+            plan.serialize_bytes += serialize
+            return write, serialize
+
+        manifest_procs = []
+        for proc in image.processes:
+            group_serialize = 0
+            group_write = 0
+            blob = proc.program_blob
+            wrote, ser = add(blob_chunk_id(blob), len(blob), blob,
+                             must_hash=True)
+            group_serialize += ser
+            group_write += len(blob) if wrote else 0
+
+            fd_entries = []
+            for fd_image in proc.fds:
+                if fd_image.kind in _CHUNKED_FD_KINDS:
+                    detail_blob = freeze_object(fd_image.detail)
+                    cid = blob_chunk_id(detail_blob)
+                    wrote, ser = add(cid, len(detail_blob), detail_blob,
+                                     must_hash=True)
+                    group_serialize += ser
+                    group_write += len(detail_blob) if wrote else 0
+                    fd_entries.append({
+                        "fd": fd_image.fd, "kind": fd_image.kind,
+                        "mode": fd_image.mode, "detail_cid": cid,
+                        "detail_len": len(detail_blob)})
+                else:
+                    fd_entries.append({
+                        "fd": fd_image.fd, "kind": fd_image.kind,
+                        "mode": fd_image.mode, "detail": fd_image.detail})
+
+            memory = proc.memory
+            dirty = memory.dirty_pages
+            for cid, page in iter_page_chunks(
+                    image.pod_name, proc.vpid, memory):
+                must_hash = mode != "incremental" or page in dirty
+                wrote, ser = add(cid, PAGE_SIZE, None,
+                                 must_hash=must_hash)
+                group_serialize += ser
+                group_write += PAGE_SIZE if wrote else 0
+
+            plan.groups.append((group_serialize, group_write))
+            manifest_procs.append({
+                "vpid": proc.vpid, "parent_vpid": proc.parent_vpid,
+                "name": proc.name,
+                "program_cid": blob_chunk_id(blob),
+                "program_len": len(blob),
+                "memory": memory,
+                "resume_syscall": proc.resume_syscall,
+                "fds": fd_entries,
+                "was_stopped_by_user": proc.was_stopped_by_user,
+                "initial_result": proc.initial_result,
+            })
+
+        tail_serialize = 0
+        tail_write = 0
+        manifest_pipes = []
+        for pipe in image.pipes:
+            cid = blob_chunk_id(pipe.buffer)
+            wrote, ser = add(cid, len(pipe.buffer), pipe.buffer,
+                             must_hash=True)
+            tail_serialize += ser
+            tail_write += len(pipe.buffer) if wrote else 0
+            manifest_pipes.append({
+                "index": pipe.index, "buffer_cid": cid,
+                "buffer_len": len(pipe.buffer),
+                "readers": pipe.readers, "writers": pipe.writers})
+        manifest_shm = []
+        for shm in image.shm:
+            cid = blob_chunk_id(shm.payload_blob)
+            wrote, ser = add(cid, len(shm.payload_blob), shm.payload_blob,
+                             must_hash=True)
+            tail_serialize += ser
+            tail_write += len(shm.payload_blob) if wrote else 0
+            manifest_shm.append({
+                "vid": shm.vid, "app_key": shm.app_key, "size": shm.size,
+                "payload_cid": cid,
+                "payload_len": len(shm.payload_blob)})
+        if tail_serialize or tail_write:
+            plan.groups.append((tail_serialize, tail_write))
+
+        plan.manifest = {
+            "format": MANIFEST_FORMAT,
+            "meta": {
+                "pod_name": image.pod_name, "taken_at": image.taken_at,
+                "ip": image.ip, "mac": image.mac,
+                "fake_mac": image.fake_mac,
+                "own_wire_mac": image.own_wire_mac,
+                "next_vpid": image.next_vpid,
+                "next_vipc": image.next_vipc,
+                "state_bytes": image.state_bytes,
+                "written_bytes": image.written_bytes,
+                "total_chunk_bytes": plan.total_bytes,
+                "sockets_captured": image.sockets_captured,
+                "version": 0,
+            },
+            "processes": manifest_procs,
+            "pipes": manifest_pipes,
+            "shm": manifest_shm,
+            "sem": [(s.vid, s.app_key, s.value) for s in image.sem],
+        }
+        return plan
+
+    # -- save / load -------------------------------------------------------
+
+    def save(self, image: CheckpointImage, mode: str = "full",
+             plan: Optional[SavePlan] = None) -> int:
+        """Persist an image; returns its version number.
+
+        Writes only the plan's new chunks (all of them in ``full`` mode),
+        increments every referenced chunk's refcount, then commits the
+        manifest — the version exists atomically once the manifest does.
+        """
+        self._ensure_attached()
+        if plan is None:
+            plan = self.plan(image, mode=mode)
+        try:
+            version = self.latest_version(image.pod_name) + 1
+        except CheckpointError:
+            version = 1
+        for chunk in plan.chunks:
+            if chunk.write:
+                payload = chunk.payload if chunk.payload is not None \
+                    else page_chunk_payload(chunk.cid)
+                self.chunks.write(chunk.cid, payload, force=chunk.force)
+            else:
+                self.chunks.bytes_deduped += chunk.nbytes
+            self.chunks.incref(chunk.cid)
+        manifest = plan.manifest
+        manifest["meta"]["version"] = version
+        manifest["meta"]["written_bytes"] = image.written_bytes
+        manifest["meta"]["total_chunk_bytes"] = plan.total_bytes
+        blob = freeze_object(manifest)
+        path = self._manifest_path(image.pod_name, version)
+        self.fs.create(path)
+        self.fs.write_at(path, 0, blob)
+        self._latest[image.pod_name] = version
+        self.last_plan = plan
+        return version
+
+    def load(self, pod_name: str,
+             version: Optional[int] = None) -> CheckpointImage:
+        self._ensure_attached()
+        if version is None:
+            version = self.latest_version(pod_name)
+        path = self._manifest_path(pod_name, version)
+        if not self.fs.exists(path):
+            raise CheckpointError(
+                f"no checkpoint v{version} for pod {pod_name!r}")
+        manifest = thaw_object(
+            self.fs.read_at(path, 0, self.fs.size(path)))
+        meta = manifest["meta"]
+        image = CheckpointImage(
+            pod_name=meta["pod_name"], taken_at=meta["taken_at"],
+            ip=meta["ip"], mac=meta["mac"], fake_mac=meta["fake_mac"],
+            own_wire_mac=meta["own_wire_mac"],
+            next_vpid=meta["next_vpid"], next_vipc=meta["next_vipc"],
+            state_bytes=meta["state_bytes"],
+            written_bytes=meta["written_bytes"],
+            total_chunk_bytes=meta["total_chunk_bytes"],
+            sockets_captured=meta["sockets_captured"],
+            version=meta["version"])
+        for entry in manifest["processes"]:
+            fds = []
+            for fd_entry in entry["fds"]:
+                if "detail_cid" in fd_entry:
+                    detail = thaw_object(
+                        self.chunks.read(fd_entry["detail_cid"]))
+                else:
+                    detail = fd_entry["detail"]
+                fds.append(FdImage(fd=fd_entry["fd"],
+                                   kind=fd_entry["kind"],
+                                   mode=fd_entry["mode"], detail=detail))
+            memory = entry["memory"]
+            # Pull every page chunk back from the store (the real read
+            # traffic of a restore) and verify none were lost to GC.
+            for cid, _page in iter_page_chunks(
+                    meta["pod_name"], entry["vpid"], memory):
+                self.chunks.read(cid)
+            image.processes.append(ProcessImage(
+                vpid=entry["vpid"], parent_vpid=entry["parent_vpid"],
+                name=entry["name"],
+                program_blob=self.chunks.read(entry["program_cid"]),
+                memory=memory,
+                resume_syscall=entry["resume_syscall"], fds=fds,
+                was_stopped_by_user=entry["was_stopped_by_user"],
+                initial_result=entry["initial_result"]))
+        for entry in manifest["pipes"]:
+            image.pipes.append(PipeImage(
+                index=entry["index"],
+                buffer=self.chunks.read(entry["buffer_cid"]),
+                readers=entry["readers"], writers=entry["writers"]))
+        for entry in manifest["shm"]:
+            image.shm.append(ShmImage(
+                vid=entry["vid"], app_key=entry["app_key"],
+                size=entry["size"],
+                payload_blob=self.chunks.read(entry["payload_cid"])))
+        for vid, app_key, value in manifest["sem"]:
+            image.sem.append(SemImage(vid=vid, app_key=app_key,
+                                      value=value))
+        return image
+
+    # -- garbage collection ------------------------------------------------
+
+    def _manifest_chunk_refs(self,
+                             manifest: Dict[str, Any]
+                             ) -> Iterator[Tuple[str, int]]:
+        """Every (chunk id, size) reference a manifest holds, with
+        multiplicity — the exact sequence save incref'd."""
+        pod_name = manifest["meta"]["pod_name"]
+        for entry in manifest["processes"]:
+            yield entry["program_cid"], entry["program_len"]
+            for fd_entry in entry["fds"]:
+                if "detail_cid" in fd_entry:
+                    yield fd_entry["detail_cid"], fd_entry["detail_len"]
+            for cid, _page in iter_page_chunks(
+                    pod_name, entry["vpid"], entry["memory"]):
+                yield cid, PAGE_SIZE
+        for entry in manifest["pipes"]:
+            yield entry["buffer_cid"], entry["buffer_len"]
+        for entry in manifest["shm"]:
+            yield entry["payload_cid"], entry["payload_len"]
+
+    def _drop_version(self, pod_name: str, version: int) -> bool:
+        """Decref a version's chunks and delete its manifest."""
+        path = self._manifest_path(pod_name, version)
+        if not self.fs.exists(path):
+            return False
+        manifest = thaw_object(
+            self.fs.read_at(path, 0, self.fs.size(path)))
+        for cid, _nbytes in self._manifest_chunk_refs(manifest):
+            self.chunks.decref(cid)
+        self.fs.unlink(path)
+        return True
 
     def discard(self, pod_name: str, version: int) -> None:
         """Drop an uncommitted image (aborted round)."""
-        path = self._path(pod_name, version)
-        if self.fs.exists(path):
-            self.fs.unlink(path)
-        if self._versions.get(pod_name) == version:
-            self._versions[pod_name] = version - 1
+        self._ensure_attached()
+        self._drop_version(pod_name, version)
+        remaining = self.versions(pod_name)
+        self._latest[pod_name] = max(remaining) if remaining else 0
 
     def prune(self, pod_name: str, keep: int = 1) -> int:
-        """Delete all but the newest ``keep`` versions; returns removed."""
-        latest = self._versions.get(pod_name, 0)
+        """Delete all but the newest ``keep`` versions; returns removed.
+
+        Refcounting makes this safe for incremental chains: a chunk a
+        kept version still references survives the removal of the older
+        version that first wrote it.
+        """
+        self._ensure_attached()
+        existing = self.versions(pod_name)
+        doomed = existing[:-keep] if keep > 0 else existing
         removed = 0
-        for version in range(1, latest - keep + 1):
-            path = self._path(pod_name, version)
-            if self.fs.exists(path):
-                self.fs.unlink(path)
+        for version in doomed:
+            if self._drop_version(pod_name, version):
                 removed += 1
+        remaining = self.versions(pod_name)
+        self._latest[pod_name] = max(remaining) if remaining else 0
         return removed

@@ -28,6 +28,10 @@ class CostModel:
     #: Fixed latency per synchronous file write (seek + commit). This is
     #: what makes per-message logging "prohibitive" for chatty apps (§2).
     disk_op_latency: float = 1e-4
+    #: Memory-copy bandwidth for serialising captured state into chunks.
+    #: The §5.2 pipeline overlaps this copy-out with the disk write; only
+    #: the copy-out has to happen while the pod is stopped.
+    serialize_bandwidth: float = 1e9      # bytes/s
     #: Fixed per-pod checkpoint overhead (quiesce, walk process table).
     checkpoint_fixed: float = 2e-3
     #: Fixed per-pod restart overhead (recreate processes, fds).

@@ -33,11 +33,22 @@ class Region:
 
 @dataclass
 class AddressSpace:
-    """Page-granular accounting of a process's memory."""
+    """Page-granular accounting of a process's memory.
+
+    Besides the dirty *bit* per page (cleared after an incremental
+    checkpoint), every page carries a monotonically increasing *version*:
+    writing a page bumps its version, so a page's logical content is fully
+    determined by ``(region, page, version)``. The content-addressed chunk
+    store keys page chunks off exactly that identity — two checkpoints of
+    an untouched page produce the same chunk and are stored once.
+    """
 
     regions: Dict[str, Region] = field(default_factory=dict)
     dirty_pages: Set[int] = field(default_factory=set)
+    #: page -> write version (bumped on every touch of that page).
+    page_versions: Dict[int, int] = field(default_factory=dict)
     _next_page: int = 0
+    _write_clock: int = 0
 
     @property
     def resident_bytes(self) -> int:
@@ -56,8 +67,12 @@ class AddressSpace:
         region = Region(name=name, nbytes=nbytes, base_page=self._next_page)
         self._next_page += region.page_count
         self.regions[name] = region
-        self.dirty_pages.update(
-            range(region.base_page, region.base_page + region.page_count))
+        self._write_clock += 1
+        version = self._write_clock
+        for page in range(region.base_page,
+                          region.base_page + region.page_count):
+            self.dirty_pages.add(page)
+            self.page_versions[page] = version
         return region
 
     def free(self, name: str) -> None:
@@ -67,6 +82,7 @@ class AddressSpace:
         for page in range(region.base_page,
                           region.base_page + region.page_count):
             self.dirty_pages.discard(page)
+            self.page_versions.pop(page, None)
 
     def touch(self, name: str, fraction: float = 1.0) -> None:
         """Mark (a fraction of) a region's pages dirty."""
@@ -75,8 +91,14 @@ class AddressSpace:
             raise SyscallError("EFAULT", f"region {name!r} not mapped")
         count = max(1, int(region.page_count * fraction)) \
             if region.page_count else 0
-        self.dirty_pages.update(
-            range(region.base_page, region.base_page + count))
+        self._write_clock += 1
+        version = self._write_clock
+        for page in range(region.base_page, region.base_page + count):
+            self.dirty_pages.add(page)
+            self.page_versions[page] = version
+
+    def page_version(self, page: int) -> int:
+        return self.page_versions.get(page, 0)
 
     def dirty_bytes(self) -> int:
         return len(self.dirty_pages) * PAGE_SIZE
@@ -91,5 +113,7 @@ class AddressSpace:
         copy.regions = {name: Region(r.name, r.nbytes, r.base_page)
                         for name, r in self.regions.items()}
         copy.dirty_pages = set(self.dirty_pages)
+        copy.page_versions = dict(self.page_versions)
         copy._next_page = self._next_page
+        copy._write_clock = self._write_clock
         return copy

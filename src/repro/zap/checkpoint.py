@@ -35,15 +35,25 @@ PROCESS_OVERHEAD_BYTES = 8192
 
 
 class CheckpointEngine:
-    """Builds :class:`CheckpointImage` objects for pods."""
+    """Builds :class:`CheckpointImage` objects for pods.
 
-    def __init__(self, codec: SocketCodec):
+    With a chunk-backed ``store`` (see :mod:`repro.cruz.storage`) the
+    engine plans the save up front, charges a short serialization window
+    while the pod is stopped, pipelines the disk write against it, and
+    commits the image itself (``image.version`` holds the result).
+    Without a store the classic whole-image write cost applies and the
+    caller persists the image.
+    """
+
+    def __init__(self, codec: SocketCodec, store=None):
         self.codec = codec
+        self.store = store
 
     # -- simulation-timed entry point -------------------------------------
 
     def checkpoint(self, pod: Pod, resume: bool = True,
                    incremental: bool = False,
+                   dedup: bool = False,
                    on_captured=None,
                    concurrent: bool = False) -> Generator:
         """A simulation coroutine; its value is the finished image.
@@ -82,13 +92,33 @@ class CheckpointEngine:
                 if isinstance(sock, TcpSocket) and \
                         sock.connection is not None:
                     sock.connection.unfreeze()
-        if on_captured is not None:
-            on_captured()
-        if concurrent and resume:
-            pod.continue_all()
-        write_bytes = image.written_bytes
-        yield sim.timeout(costs.checkpoint_fixed +
-                          write_bytes / costs.disk_write_bandwidth)
+        if self.store is not None:
+            mode = "incremental" if incremental \
+                else ("dedup" if dedup else "full")
+            plan = self.store.plan(image, mode=mode)
+            image.written_bytes = plan.write_bytes
+            image.total_chunk_bytes = plan.total_bytes
+            serialize_s, pipeline_s = plan.schedule(costs)
+            if serialize_s:
+                # Copy-out window: the pod must stay stopped only while
+                # its state is serialised; the disk write of process i
+                # overlaps the serialization of process i+1 (§5.2).
+                yield sim.timeout(serialize_s)
+            if on_captured is not None:
+                on_captured()
+            if concurrent and resume:
+                pod.continue_all()
+            yield sim.timeout(costs.checkpoint_fixed
+                              + (pipeline_s - serialize_s))
+            image.version = self.store.save(image, mode=mode, plan=plan)
+        else:
+            if on_captured is not None:
+                on_captured()
+            if concurrent and resume:
+                pod.continue_all()
+            write_bytes = image.written_bytes
+            yield sim.timeout(costs.checkpoint_fixed +
+                              write_bytes / costs.disk_write_bandwidth)
         node.trace.emit(sim.now, "checkpoint", node=node.name,
                         **image.summary())
         if resume and not concurrent:

@@ -106,8 +106,15 @@ class CheckpointImage:
     sem: List[SemImage] = field(default_factory=list)
     #: Bytes of state written to stable storage (drives checkpoint time).
     state_bytes: int = 0
-    #: Pages actually written when incremental checkpointing is on.
+    #: Bytes actually moved to stable storage. With a chunk store behind
+    #: the checkpoint this is the measured new-chunk byte count; without
+    #: one it falls back to the dirty-page accounting estimate.
     written_bytes: int = 0
+    #: Logical bytes the image references in the chunk store (dedup'd
+    #: chunks included); 0 when saved without a chunk store.
+    total_chunk_bytes: int = 0
+    #: Store version assigned when the image was committed (0 = unsaved).
+    version: int = 0
     sockets_captured: int = 0
 
     def summary(self) -> Dict[str, Any]:
@@ -118,4 +125,5 @@ class CheckpointImage:
             "sockets": self.sockets_captured,
             "state_bytes": self.state_bytes,
             "written_bytes": self.written_bytes,
+            "version": self.version,
         }

@@ -1,0 +1,45 @@
+"""The benchmark wall-clock regression guard (pure comparison logic)."""
+
+import json
+
+from repro.bench.regression import (
+    Comparison,
+    compare_reports,
+    load_report,
+)
+
+
+def test_compare_flags_only_regressions_beyond_tolerance():
+    baseline = {"a": 1.0, "b": 2.0, "c": 3.0}
+    current = {"a": 1.1, "b": 2.5, "c": 2.0}
+    rows = compare_reports(baseline, current, tolerance=0.2)
+    verdicts = {row.name: row.regressed for row in rows}
+    assert verdicts == {"a": False, "b": True, "c": False}
+
+
+def test_compare_ignores_benchmarks_missing_from_either_side():
+    rows = compare_reports({"a": 1.0, "gone": 5.0}, {"a": 1.0, "new": 9.0})
+    assert [row.name for row in rows] == ["a"]
+
+
+def test_ratio_handles_zero_baseline():
+    row = Comparison(name="x", baseline_s=0.0, current_s=1.0,
+                     tolerance=0.2)
+    assert row.ratio == 1.0 and not row.regressed
+
+
+def test_load_report_extracts_means(tmp_path):
+    report = {"benchmarks": [
+        {"name": "test_fast", "stats": {"mean": 0.5, "stddev": 0.01}},
+        {"name": "test_slow", "stats": {"mean": 4.0, "stddev": 0.10}},
+    ]}
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(report))
+    assert load_report(str(path)) == {"test_fast": 0.5, "test_slow": 4.0}
+
+
+def test_committed_baseline_parses():
+    """The repo ships a baseline for `python -m repro bench --compare`."""
+    means = load_report("benchmarks/BENCH_fig5.json")
+    assert means, "baseline must contain at least one benchmark"
+    assert all(mean > 0 for mean in means.values())

@@ -1,0 +1,209 @@
+"""Content-addressed chunk store: incremental equivalence, GC, attach."""
+
+import pickle
+
+import pytest
+
+from repro.cruz.cluster import CruzCluster
+from repro.cruz.storage import ImageStore, iter_page_chunks
+from repro.errors import CheckpointError
+from repro.simos.memory import PAGE_SIZE
+from repro.zap.virtualization import uninstall_pod
+from repro.zap.checkpoint import scrub_pod_network
+
+from tests.programs import ComputeLoop
+
+
+GRID_PAGES = 400
+
+
+def run(cluster, generator, limit=1e6):
+    task = cluster.sim.process(generator)
+    return cluster.sim.run_until_complete(task, limit=limit)
+
+
+def make_pod_with_grid(n_pages=GRID_PAGES):
+    cluster = CruzCluster(1)
+    pod = cluster.create_pod(0, "p0")
+    proc = pod.spawn(ComputeLoop(iterations=1000, work_s=0.01))
+    cluster.run_for(0.05)
+    proc.memory.allocate("grid", n_pages * PAGE_SIZE)
+    return cluster, pod, proc
+
+
+def checkpoint(cluster, pod, resume=True, incremental=False, dedup=False):
+    engine = cluster.agents[0].checkpoint_engine
+    return run(cluster, engine.checkpoint(
+        pod, resume=resume, incremental=incremental, dedup=dedup))
+
+
+def test_incremental_restore_matches_full_at_same_instant():
+    cluster, pod, proc = make_pod_with_grid()
+    checkpoint(cluster, pod)                                    # v1 full
+    for _round in range(2):                                    # v2, v3
+        cluster.run_for(0.02)
+        proc.memory.touch("grid", fraction=0.25)
+        checkpoint(cluster, pod, incremental=True)
+    cluster.run_for(0.02)
+    proc.memory.touch("grid", fraction=0.25)
+    # v4 incremental with the pod left stopped, then a reference full
+    # checkpoint of the *identical* instant.
+    incr = checkpoint(cluster, pod, resume=False, incremental=True)
+    full = checkpoint(cluster, pod, resume=False)
+    assert incr.version == 4 and full.version == 5
+    restored = cluster.store.load(pod.name, 4)
+    reference = cluster.store.load(pod.name, 5)
+    assert restored.processes[0].program_blob == \
+        reference.processes[0].program_blob
+    r_mem = restored.processes[0].memory
+    f_mem = reference.processes[0].memory
+    assert {n: (r.nbytes, r.base_page) for n, r in r_mem.regions.items()} \
+        == {n: (r.nbytes, r.base_page) for n, r in f_mem.regions.items()}
+    assert r_mem.page_versions == f_mem.page_versions
+    # Same page identities -> bit-identical stored page content.
+    assert list(iter_page_chunks(pod.name, 1, r_mem)) == \
+        list(iter_page_chunks(pod.name, 1, f_mem))
+
+
+def test_restart_from_incremental_version_roundtrips():
+    cluster, pod, proc = make_pod_with_grid(n_pages=50)
+    checkpoint(cluster, pod)                                    # v1 full
+    cluster.run_for(0.02)
+    proc.memory.touch("grid", fraction=0.1)
+    image = checkpoint(cluster, pod, resume=False,
+                       incremental=True)                        # v2
+    done_at_v2 = proc.program.done
+    scrub_pod_network(pod)
+    pod.kill_all()
+    uninstall_pod(pod)
+    cluster.agents[0].unregister_pod(pod.name)
+    loaded = cluster.store.load(pod.name)                      # newest = v2
+    assert loaded.version == image.version == 2
+    restored = run(cluster, cluster.agents[0].restart_engine.restart(
+        loaded, cluster.nodes[0], resume=False))
+    proc2 = restored.processes()[0]
+    assert proc2.program.done == done_at_v2
+    assert proc2.memory.regions["grid"].page_count == 50
+    assert proc2.memory.page_versions == \
+        loaded.processes[0].memory.page_versions
+
+
+def test_gc_keeps_chunks_shared_with_kept_versions():
+    cluster, pod, proc = make_pod_with_grid()
+    checkpoint(cluster, pod, resume=False)                     # v1 full
+    proc.memory.touch("grid", fraction=0.5)
+    checkpoint(cluster, pod, resume=False, incremental=True)   # v2
+    store = cluster.store
+    removed = store.prune(pod.name, keep=1)
+    assert removed == 1
+    assert store.versions(pod.name) == [2]
+    # Chunks only v1 referenced (the 50% of pages since overwritten) are
+    # gone; everything v2 needs — including clean pages first written at
+    # v1 — survives, so the load reads every page chunk successfully.
+    assert store.chunks.chunks_removed > 0
+    reloaded = store.load(pod.name, 2)
+    assert reloaded.processes[0].memory.regions["grid"].page_count \
+        == GRID_PAGES
+    with pytest.raises(CheckpointError, match="no checkpoint v1"):
+        store.load(pod.name, 1)
+
+
+def test_versions_lists_only_surviving_manifests():
+    cluster, pod, proc = make_pod_with_grid(n_pages=20)
+    for _ in range(5):
+        checkpoint(cluster, pod)
+        cluster.run_for(0.01)
+    store = cluster.store
+    assert store.versions(pod.name) == [1, 2, 3, 4, 5]
+    assert store.prune(pod.name, keep=2) == 3
+    assert store.versions(pod.name) == [4, 5]
+    store.discard(pod.name, 5)
+    assert store.versions(pod.name) == [4]
+    assert store.latest_version(pod.name) == 4
+
+
+def test_fresh_store_attaches_from_shared_filesystem():
+    """Satellite: a coordinator restarted on another node must find the
+    versions (and the chunk refcounts) from the shared filesystem."""
+    cluster, pod, proc = make_pod_with_grid()
+    checkpoint(cluster, pod, resume=False)                     # v1
+    proc.memory.touch("grid", fraction=0.3)
+    checkpoint(cluster, pod, resume=False, incremental=True)   # v2
+    fresh = ImageStore(cluster.fs)
+    assert fresh.latest_version(pod.name) == 2
+    assert fresh.versions(pod.name) == [1, 2]
+    image = fresh.load(pod.name)
+    assert image.version == 2
+    # Rebuilt refcounts keep GC safe: pruning v1 through the fresh store
+    # must not break v2's clean-page chunks.
+    assert fresh.prune(pod.name, keep=1) == 1
+    assert fresh.load(pod.name, 2).processes[0].memory.total_pages \
+        == GRID_PAGES
+
+
+def test_incremental_round_stores_at_most_20pct_of_full():
+    """Acceptance: 10% dirty -> incremental stores <= 20% of full bytes,
+    measured with the chunk store's real byte counters."""
+    cluster, pod, proc = make_pod_with_grid()
+    chunks = cluster.store.chunks
+    before = chunks.bytes_written
+    checkpoint(cluster, pod, resume=False)                     # v1 full
+    full_bytes = chunks.bytes_written - before
+    proc.memory.touch("grid", fraction=0.10)
+    before = chunks.bytes_written
+    image = checkpoint(cluster, pod, resume=False,
+                       incremental=True)                        # v2
+    incremental_bytes = chunks.bytes_written - before
+    assert full_bytes >= GRID_PAGES * PAGE_SIZE
+    assert incremental_bytes <= 0.20 * full_bytes
+    assert incremental_bytes > 0
+    # written_bytes is now the measured new-chunk count, not accounting.
+    assert image.written_bytes == incremental_bytes
+
+
+def test_dedup_mode_writes_less_than_full():
+    cluster, pod, proc = make_pod_with_grid()
+    chunks = cluster.store.chunks
+    before = chunks.bytes_written
+    checkpoint(cluster, pod, resume=False)                     # v1 full
+    full_bytes = chunks.bytes_written - before
+    proc.memory.touch("grid", fraction=0.4)
+    before = chunks.bytes_written
+    checkpoint(cluster, pod, resume=False, dedup=True)         # v2
+    dedup_bytes = chunks.bytes_written - before
+    assert 0 < dedup_bytes < full_bytes
+    assert chunks.bytes_deduped > 0
+
+
+def test_round_stats_report_dedup_ratio():
+    cluster = CruzCluster(2)
+    pods = [cluster.create_pod(i, f"w{i}") for i in range(2)]
+    procs = []
+    for pod in pods:
+        proc = pod.spawn(ComputeLoop(iterations=1000, work_s=0.01))
+        procs.append(proc)
+    cluster.run_for(0.05)
+    for proc in procs:
+        proc.memory.allocate("grid", 100 * PAGE_SIZE)
+    from repro.cruz.coordinator import DistributedApp
+    app = DistributedApp("pair", pods)
+    first = cluster.checkpoint_app(app)
+    assert first.total_chunk_bytes > 0
+    assert first.new_chunk_bytes == first.total_chunk_bytes  # full round
+    assert first.dedup_ratio == 0.0
+    for proc in procs:
+        proc.memory.touch("grid", fraction=0.1)
+    second = cluster.checkpoint_app(app, incremental=True)
+    assert 0 < second.new_chunk_bytes < second.total_chunk_bytes
+    assert second.dedup_ratio > 0.5
+
+
+def test_full_mode_image_is_pickle_stable():
+    """Loaded images stay plain-data (restart paths pickle them)."""
+    cluster, pod, proc = make_pod_with_grid(n_pages=10)
+    checkpoint(cluster, pod, resume=False)
+    image = cluster.store.load(pod.name)
+    clone = pickle.loads(pickle.dumps(image))
+    assert clone.processes[0].program_blob == \
+        image.processes[0].program_blob
+    assert clone.version == image.version == 1
