@@ -12,6 +12,7 @@ The paper's two contributions:
 """
 
 from repro.cruz.agent import CheckpointAgent
+from repro.cruz.faults import ControlFaultInjector, FaultPlan
 from repro.cruz.consistency import (
     ChannelVerdict,
     ConsistencyReport,
@@ -25,19 +26,29 @@ from repro.cruz.netstate import (
     capture_connection,
     restore_connection,
 )
-from repro.cruz.protocol import ControlMessage, RoundStats
-from repro.cruz.storage import ImageStore
+from repro.cruz.protocol import (
+    ControlMessage,
+    ReliableEndpoint,
+    RetryPolicy,
+    RoundStats,
+)
+from repro.cruz.storage import ImageStore, RoundLog
 
 __all__ = [
     "ChannelVerdict",
     "CheckpointAgent",
     "ConsistencyReport",
     "CheckpointCoordinator",
+    "ControlFaultInjector",
     "ControlMessage",
     "CruzCluster",
     "CruzSocketCodec",
     "DistributedApp",
+    "FaultPlan",
     "ImageStore",
+    "ReliableEndpoint",
+    "RetryPolicy",
+    "RoundLog",
     "RoundStats",
     "capture_connection",
     "check_app_checkpoint",

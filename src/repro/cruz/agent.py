@@ -13,15 +13,31 @@ the pod's netfilter rule, so coordination is never self-blocked). On
 With the Fig. 4 optimisation it instead reports ``<comm-disabled>`` right
 after step 1 and resumes on its own as soon as both its local save is done
 and the coordinator has confirmed every node disabled communication.
+
+The control plane is reliable and idempotent: messages arrive through a
+:class:`~repro.cruz.protocol.ReliableEndpoint` (ACK + retransmit +
+duplicate suppression), epochs at or below the last locally completed
+round are ignored outright, an ``ABORT`` that outruns its own
+``CHECKPOINT`` poisons the epoch so the late checkpoint request is
+refused, and every abort path removes the pod's netfilter rule before the
+round is considered finished. Unilateral aborts (coordinator silence) are
+recorded in the shared-store round WAL so a recovering coordinator can
+never commit — or resurrect — that epoch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, Optional, Set, Tuple
 
 from repro.cruz import protocol
 from repro.cruz.netstate import CruzSocketCodec
-from repro.cruz.protocol import AGENT_PORT, COORDINATOR_PORT, ControlMessage
+from repro.cruz.protocol import (
+    AGENT_PORT,
+    COORDINATOR_PORT,
+    ControlMessage,
+    ReliableEndpoint,
+    RetryPolicy,
+)
 from repro.cruz.storage import ImageStore
 from repro.errors import CoordinationError
 from repro.net.addresses import Ipv4Address
@@ -32,19 +48,25 @@ from repro.zap.restart import RestartEngine
 from repro.zap.socket_codec import SocketCodec
 from repro.zap.virtualization import uninstall_pod
 
+#: Completed-epoch bookkeeping kept around for late ABORT undo.
+_VERSION_HISTORY = 16
+
 
 class CheckpointAgent:
     """One agent per application node."""
 
     def __init__(self, node: Node, store: ImageStore,
                  codec: Optional[SocketCodec] = None,
-                 continue_timeout_s: float = 120.0):
+                 continue_timeout_s: float = 120.0,
+                 retry: Optional[RetryPolicy] = None,
+                 faults=None):
         self.node = node
         self.store = store
         #: Coordinator-failure tolerance (§5.1: "can be extended in a
         #: straightforward way"): if <continue> never arrives, the agent
         #: aborts unilaterally — resumes its pod, re-enables
-        #: communication, and discards the uncommitted image.
+        #: communication, discards the uncommitted image, and records the
+        #: abort in the shared round WAL.
         self.continue_timeout_s = continue_timeout_s
         self.unilateral_aborts = 0
         codec = codec if codec is not None else CruzSocketCodec()
@@ -53,13 +75,26 @@ class CheckpointAgent:
         self.checkpoint_engine = CheckpointEngine(codec, store=store)
         self.restart_engine = RestartEngine(codec)
         self.pods: Dict[str, Pod] = {}
-        #: epoch -> {"continue": Event, "aborted": bool}
+        #: epoch -> {"continue": Event, "aborted": bool, "epoch": int}
         self._rounds: Dict[int, Dict] = {}
+        #: Highest epoch this agent finished (committed or aborted);
+        #: stale control messages at or below it are ignored.
+        self.last_completed_epoch = 0
+        #: Epochs whose ABORT arrived before (or without) the round
+        #: request — a late CHECKPOINT/RESTART for them is refused.
+        self._aborted_epochs: Set[int] = set()
+        #: epoch -> (pod_name, version) committed locally, kept so a late
+        #: ABORT (e.g. from a recovering coordinator) can still undo it.
+        self._epoch_versions: Dict[int, Tuple[str, int]] = {}
         self.messages_handled = 0
         self.messages_sent = 0
-        #: Failure injection: a crashed agent ignores all traffic.
+        #: Failure injection: a crashed agent ignores all traffic (and,
+        #: being crashed, sends no ACKs either).
         self.crashed = False
-        node.stack.udp.bind(AGENT_PORT, self._on_datagram)
+        self.endpoint = ReliableEndpoint(
+            node, AGENT_PORT, self._on_message, policy=retry,
+            faults=faults, is_alive=lambda: not self.crashed,
+            name=f"agent@{node.name}")
 
     def register_pod(self, pod: Pod) -> None:
         self.pods[pod.name] = pod
@@ -75,14 +110,10 @@ class CheckpointAgent:
         self.node.trace.emit(self.node.sim.now, "coord_msg",
                              node=self.node.name, kind=message.kind,
                              epoch=message.epoch)
-        self.node.stack.udp.send(
-            self.node.stack.eth0.ip, AGENT_PORT,
-            coordinator_ip, COORDINATOR_PORT, message,
-            payload_size=message.size)
+        self.endpoint.send(coordinator_ip, COORDINATOR_PORT, message)
 
-    def _on_datagram(self, payload, src_ip, _src_port, _dst_ip) -> None:
-        if self.crashed or not isinstance(payload, ControlMessage):
-            return
+    def _on_message(self, payload: ControlMessage,
+                    src_ip: Ipv4Address) -> None:
         self.messages_handled += 1
         self.node.sim.process(
             self._dispatch(payload, src_ip),
@@ -91,14 +122,47 @@ class CheckpointAgent:
     def _dispatch(self, message: ControlMessage,
                   coordinator_ip: Ipv4Address) -> Generator:
         yield self.node.sim.timeout(self.node.costs.agent_message_handling)
+        if message.kind == protocol.ABORT:
+            self._handle_abort(message.epoch)
+            return
+        if message.epoch <= self.last_completed_epoch:
+            # Stale: a retransmission (or reordered stray) for a round
+            # this agent already finished. Re-running it would re-create
+            # round state that nothing ever reclaims — ignore it.
+            return
+        if message.kind in (protocol.CHECKPOINT, protocol.RESTART) and \
+                message.epoch in self._aborted_epochs:
+            # The round was aborted before its request reached us; taking
+            # the checkpoint now would pause the pod for a dead epoch.
+            return
         if message.kind == protocol.CHECKPOINT:
             yield from self._do_checkpoint(message, coordinator_ip)
         elif message.kind == protocol.RESTART:
             yield from self._do_restart(message, coordinator_ip)
         elif message.kind == protocol.CONTINUE:
             self._signal_continue(message.epoch, aborted=False)
-        elif message.kind == protocol.ABORT:
-            self._signal_continue(message.epoch, aborted=True)
+
+    def _handle_abort(self, epoch: int) -> None:
+        state = self._rounds.get(epoch)
+        if state is not None:
+            self._signal_continue(epoch, aborted=True)
+            return
+        if epoch > self.last_completed_epoch:
+            # ABORT outran the round request (reordering / recovering
+            # coordinator): poison the epoch so a late request is refused.
+            self._aborted_epochs.add(epoch)
+            return
+        # Round already completed here. If we committed an image for it
+        # (Fig. 4 agents commit at <done>), the global round still
+        # aborted — undo the local commit so the dead epoch's version can
+        # never be "latest".
+        committed = self._epoch_versions.pop(epoch, None)
+        if committed is not None:
+            pod_name, version = committed
+            self.store.discard(pod_name, version)
+            self.node.trace.emit(
+                self.node.sim.now, "agent_undo", node=self.node.name,
+                pod=pod_name, epoch=epoch, version=version)
 
     def _signal_continue(self, epoch: int, aborted: bool) -> None:
         state = self._rounds.get(epoch)
@@ -113,9 +177,24 @@ class CheckpointAgent:
         state = self._rounds.get(epoch)
         if state is None:
             state = {"continue": self.node.sim.event(f"continue({epoch})"),
-                     "aborted": False}
+                     "aborted": False, "epoch": epoch}
             self._rounds[epoch] = state
         return state
+
+    def _complete_round(self, epoch: int,
+                        committed: Optional[Tuple[str, int]] = None
+                        ) -> None:
+        """Reclaim all per-round state; runs on every exit path."""
+        self._rounds.pop(epoch, None)
+        self.last_completed_epoch = max(self.last_completed_epoch, epoch)
+        self._aborted_epochs = {
+            e for e in self._aborted_epochs
+            if e > self.last_completed_epoch}
+        if committed is not None:
+            self._epoch_versions[epoch] = committed
+            while len(self._epoch_versions) > _VERSION_HISTORY:
+                self._epoch_versions.pop(min(self._epoch_versions))
+        self.endpoint.forget_epochs_below(epoch - 1)
 
     def _await_continue(self, state: Dict) -> Generator:
         """Wait for <continue>/<abort>, aborting on coordinator silence."""
@@ -126,9 +205,36 @@ class CheckpointAgent:
         if event not in outcome:
             state["aborted"] = True
             self.unilateral_aborts += 1
+            # Record the verdict where a recovering coordinator will look
+            # before it could ever commit (or reuse) this epoch.
+            self.store.rounds.log_abort(
+                state["epoch"], reason="coordinator silent",
+                source=self.node.name, at=sim.now)
             self.node.trace.emit(
                 sim.now, "agent_abort", node=self.node.name,
                 reason="coordinator silent")
+
+    def _abort_failed_save(self, message: ControlMessage,
+                           coordinator_ip: Ipv4Address, pod: Pod,
+                           error: BaseException) -> None:
+        """The local engine failed mid-save: abort this agent's round.
+
+        Reports ABORT to the coordinator (which fails the epoch without
+        waiting for the round timeout), records the verdict in the round
+        WAL, resumes the pod and reclaims the round state. The caller's
+        try/finally removes the netfilter rule.
+        """
+        reason = f"local save failed: {error!r}"
+        self.store.rounds.log_abort(message.epoch, reason=reason,
+                                    source=self.node.name,
+                                    at=self.node.sim.now)
+        self._send(coordinator_ip, ControlMessage(
+            kind=protocol.ABORT, epoch=message.epoch, pod_name=pod.name,
+            node_name=self.node.name, reason=reason))
+        pod.continue_all()
+        self.node.trace.emit(self.node.sim.now, "agent_abort",
+                             node=self.node.name, reason=reason)
+        self._complete_round(message.epoch)
 
     # -- checkpoint ----------------------------------------------------------
 
@@ -148,49 +254,64 @@ class CheckpointAgent:
                              pod=pod.name, epoch=message.epoch)
         # Step 1: silently drop all traffic to/from the local pod.
         rule_id = self.node.stack.netfilter.drop_all_for(pod.ip)
-        yield sim.timeout(costs.netfilter_update)
-        if message.optimized:
+        try:
+            yield sim.timeout(costs.netfilter_update)
+            if message.optimized:
+                self._send(coordinator_ip, ControlMessage(
+                    kind=protocol.COMM_DISABLED, epoch=message.epoch,
+                    pod_name=pod.name, node_name=self.node.name))
+                yield from self._optimized_checkpoint(
+                    message, coordinator_ip, pod, state, rule_id, started)
+                return
+            # Step 2: stop the pod and take the local checkpoint. With the
+            # copy-on-write option the pod resumes computing (still behind
+            # the filter) as soon as its state is extracted.
+            try:
+                image = yield from self.checkpoint_engine.checkpoint(
+                    pod, resume=message.concurrent,
+                    incremental=message.incremental,
+                    dedup=message.dedup,
+                    concurrent=message.concurrent)
+            except Exception as error:  # noqa: BLE001 - engine failure
+                self._abort_failed_save(message, coordinator_ip, pod,
+                                        error)
+                return
+            version = image.version
+            local_checkpoint_s = sim.now - started
+            # Step 3: report done; Step 4: wait for <continue>.
             self._send(coordinator_ip, ControlMessage(
-                kind=protocol.COMM_DISABLED, epoch=message.epoch,
-                pod_name=pod.name, node_name=self.node.name))
-            yield from self._optimized_checkpoint(
-                message, coordinator_ip, pod, state, rule_id, started)
-            return
-        # Step 2: stop the pod and take the local checkpoint. With the
-        # copy-on-write option the pod resumes computing (still behind
-        # the filter) as soon as its state is extracted.
-        image = yield from self.checkpoint_engine.checkpoint(
-            pod, resume=message.concurrent,
-            incremental=message.incremental,
-            dedup=message.dedup,
-            concurrent=message.concurrent)
-        version = image.version
-        local_checkpoint_s = sim.now - started
-        # Step 3: report done; Step 4: wait for <continue>.
-        self._send(coordinator_ip, ControlMessage(
-            kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
-            node_name=self.node.name,
-            local_checkpoint_s=local_checkpoint_s,
-            new_chunk_bytes=image.written_bytes,
-            total_chunk_bytes=image.total_chunk_bytes))
-        yield from self._await_continue(state)
-        # Steps 5-7: resume, re-enable communication, report.
-        resume_started = sim.now
-        if not message.concurrent:
-            pod.continue_all()
-        self.node.trace.emit(sim.now, "pod_resumed", node=self.node.name,
-                             pod=pod.name, epoch=message.epoch)
-        self.node.stack.netfilter.remove_rule(rule_id)
-        yield sim.timeout(costs.netfilter_update)
-        if state["aborted"]:
-            # Undo: the round never committed; drop the half-round image.
-            self.store.discard(pod.name, version)
-        else:
-            self._send(coordinator_ip, ControlMessage(
-                kind=protocol.CONTINUE_DONE, epoch=message.epoch,
-                pod_name=pod.name, node_name=self.node.name,
-                local_continue_s=sim.now - resume_started))
-        self._rounds.pop(message.epoch, None)
+                kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
+                node_name=self.node.name,
+                local_checkpoint_s=local_checkpoint_s,
+                new_chunk_bytes=image.written_bytes,
+                total_chunk_bytes=image.total_chunk_bytes))
+            yield from self._await_continue(state)
+            # Steps 5-7: resume, re-enable communication, report.
+            resume_started = sim.now
+            if not message.concurrent:
+                pod.continue_all()
+            self.node.trace.emit(sim.now, "pod_resumed",
+                                 node=self.node.name,
+                                 pod=pod.name, epoch=message.epoch)
+            self.node.stack.netfilter.remove_rule(rule_id)
+            yield sim.timeout(costs.netfilter_update)
+            if state["aborted"]:
+                # Undo: the round never committed; drop the half-round
+                # image.
+                self.store.discard(pod.name, version)
+                self._complete_round(message.epoch)
+            else:
+                self._send(coordinator_ip, ControlMessage(
+                    kind=protocol.CONTINUE_DONE, epoch=message.epoch,
+                    pod_name=pod.name, node_name=self.node.name,
+                    local_continue_s=sim.now - resume_started))
+                self._complete_round(message.epoch,
+                                     committed=(pod.name, version))
+        finally:
+            # Whatever went wrong above (engine failure, abort raced with
+            # the save, ...) the pod must never stay filtered: remove the
+            # rule if a happy path did not already.
+            self.node.stack.netfilter.remove_rule(rule_id)
 
     def _optimized_checkpoint(self, message: ControlMessage,
                               coordinator_ip: Ipv4Address, pod: Pod,
@@ -204,6 +325,9 @@ class CheckpointAgent:
         ``early_network`` option re-enables communication so TCP backoff
         recovery overlaps the remaining disk write; the pod itself
         resumes as soon as its save completes.
+
+        Runs inside ``_do_checkpoint``'s try/finally, which guarantees
+        the netfilter rule is removed on every exit path.
         """
         sim, costs = self.node.sim, self.node.costs
         captured = sim.event(f"captured({message.epoch})")
@@ -215,14 +339,22 @@ class CheckpointAgent:
                 if not captured.triggered else None),
             name=f"save({pod.name})")
         yield from self._await_continue(state)
-        if not captured.triggered:
-            yield captured
-        removed_early = False
-        if message.early_network and not state["aborted"]:
-            self.node.stack.netfilter.remove_rule(rule_id)
-            yield sim.timeout(costs.netfilter_update)
-            removed_early = True
-        image = yield save_task
+        try:
+            if not captured.triggered:
+                # Waiting on `captured` alone would block this round
+                # forever (filter installed, pod paused) if the save
+                # process died before capturing: the AnyOf fails the
+                # moment save_task does.
+                yield sim.any_of([captured, save_task])
+            removed_early = False
+            if message.early_network and not state["aborted"]:
+                self.node.stack.netfilter.remove_rule(rule_id)
+                yield sim.timeout(costs.netfilter_update)
+                removed_early = True
+            image = yield save_task
+        except Exception as error:  # noqa: BLE001 - engine failure
+            self._abort_failed_save(message, coordinator_ip, pod, error)
+            return
         version = image.version
         local_checkpoint_s = sim.now - started
         resume_started = sim.now
@@ -234,6 +366,7 @@ class CheckpointAgent:
             yield sim.timeout(costs.netfilter_update)
         if state["aborted"]:
             self.store.discard(pod.name, version)
+            self._complete_round(message.epoch)
         else:
             self._send(coordinator_ip, ControlMessage(
                 kind=protocol.DONE, epoch=message.epoch,
@@ -242,7 +375,10 @@ class CheckpointAgent:
                 local_continue_s=sim.now - resume_started,
                 new_chunk_bytes=image.written_bytes,
                 total_chunk_bytes=image.total_chunk_bytes))
-        self._rounds.pop(message.epoch, None)
+            # Fig. 4 agents commit at <done>; remember the version so a
+            # late ABORT of this epoch can still undo the local commit.
+            self._complete_round(message.epoch,
+                                 committed=(pod.name, version))
 
     # -- restart --------------------------------------------------------------
 
@@ -256,32 +392,35 @@ class CheckpointAgent:
         # Communications must be disabled *before* any state is restored:
         # restored TCP would otherwise transmit before its peers exist (§5).
         rule_id = self.node.stack.netfilter.drop_all_for(image.ip)
-        yield sim.timeout(costs.netfilter_update)
-        pod = yield from self.restart_engine.restart(
-            image, self.node, resume=False)
-        self.register_pod(pod)
-        self._send(coordinator_ip, ControlMessage(
-            kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
-            node_name=self.node.name,
-            local_checkpoint_s=sim.now - started))
-        yield from self._await_continue(state)
-        resume_started = sim.now
-        if state["aborted"]:
-            scrub_pod_network(pod)
-            pod.kill_all()
-            uninstall_pod(pod)
-            self.unregister_pod(pod.name)
+        try:
+            yield sim.timeout(costs.netfilter_update)
+            pod = yield from self.restart_engine.restart(
+                image, self.node, resume=False)
+            self.register_pod(pod)
+            self._send(coordinator_ip, ControlMessage(
+                kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
+                node_name=self.node.name,
+                local_checkpoint_s=sim.now - started))
+            yield from self._await_continue(state)
+            resume_started = sim.now
+            if state["aborted"]:
+                scrub_pod_network(pod)
+                pod.kill_all()
+                uninstall_pod(pod)
+                self.unregister_pod(pod.name)
+                self.node.stack.netfilter.remove_rule(rule_id)
+                self._complete_round(message.epoch)
+                return
+            self.restart_engine.resume(pod, image)
             self.node.stack.netfilter.remove_rule(rule_id)
-            self._rounds.pop(message.epoch, None)
-            return
-        self.restart_engine.resume(pod, image)
-        self.node.stack.netfilter.remove_rule(rule_id)
-        yield sim.timeout(costs.netfilter_update)
-        self._send(coordinator_ip, ControlMessage(
-            kind=protocol.CONTINUE_DONE, epoch=message.epoch,
-            pod_name=pod.name, node_name=self.node.name,
-            local_continue_s=sim.now - resume_started))
-        self._rounds.pop(message.epoch, None)
+            yield sim.timeout(costs.netfilter_update)
+            self._send(coordinator_ip, ControlMessage(
+                kind=protocol.CONTINUE_DONE, epoch=message.epoch,
+                pod_name=pod.name, node_name=self.node.name,
+                local_continue_s=sim.now - resume_started))
+            self._complete_round(message.epoch)
+        finally:
+            self.node.stack.netfilter.remove_rule(rule_id)
 
     def local_checkpoint(self, pod: Pod, resume: bool = True,
                          incremental: bool = False,

@@ -21,8 +21,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster import Cluster
 from repro.cruz.agent import CheckpointAgent
 from repro.cruz.coordinator import CheckpointCoordinator, DistributedApp
+from repro.cruz.faults import ControlFaultInjector, FaultPlan
 from repro.cruz.netstate import CruzSocketCodec
-from repro.cruz.protocol import RoundStats
+from repro.cruz.protocol import RetryPolicy, RoundStats
 from repro.cruz.storage import ImageStore
 from repro.errors import PodError
 from repro.simos.program import Program
@@ -42,18 +43,70 @@ class CruzCluster(Cluster):
     def __init__(self, n_app_nodes: int,
                  codec: Optional[SocketCodec] = None,
                  coordinator_timeout_s: float = 60.0,
+                 control_faults: Optional[Sequence[FaultPlan]] = None,
+                 control_retry: Optional[RetryPolicy] = None,
                  **kwargs):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
         self.codec = codec if codec is not None else CruzSocketCodec()
         self.store = ImageStore(self.fs)
+        #: Every control datagram (agents and coordinator, ACKs included)
+        #: passes through one seeded fault injector; with no plans added
+        #: it is a transparent pass-through.
+        self.fault_injector = ControlFaultInjector(
+            self.sim, self.random.stream("control-faults"))
+        for plan in control_faults or ():
+            self.fault_injector.add_plan(plan)
+        self.control_retry = control_retry
         self.agents: List[CheckpointAgent] = [
-            CheckpointAgent(node, self.store, codec=self.codec)
+            CheckpointAgent(node, self.store, codec=self.codec,
+                            retry=control_retry,
+                            faults=self.fault_injector)
             for node in self.nodes[:n_app_nodes]]
         self.coordinator_node = self.nodes[n_app_nodes]
+        self.coordinator_timeout_s = coordinator_timeout_s
         self.coordinator = CheckpointCoordinator(
-            self.coordinator_node, timeout_s=coordinator_timeout_s)
+            self.coordinator_node, timeout_s=coordinator_timeout_s,
+            store=self.store, retry=control_retry,
+            faults=self.fault_injector)
         self.apps: Dict[str, DistributedApp] = {}
+
+    # -- control-plane faults and coordinator replacement -------------------
+
+    def add_control_fault(self, plan: FaultPlan) -> FaultPlan:
+        """Inject faults into the coordination control plane from now on."""
+        return self.fault_injector.add_plan(plan)
+
+    def crash_coordinator(self) -> None:
+        """Silence the coordinator mid-flight (simulated process crash).
+
+        In-flight rounds hang until agents' unilateral timeouts fire; the
+        round WAL in the shared store keeps the recovery record.
+        """
+        self.coordinator.endpoint.close()
+
+    def restart_coordinator(self,
+                            node_index: Optional[int] = None,
+                            timeout_s: Optional[float] = None
+                            ) -> CheckpointCoordinator:
+        """Replace the coordinator and run WAL crash recovery.
+
+        The new coordinator (on the same node by default, or any other —
+        the WAL and images live in the shared filesystem) aborts every
+        round the old one left in flight and resumes epoch numbering
+        after the highest logged epoch.
+        """
+        self.crash_coordinator()
+        if node_index is not None:
+            self.coordinator_node = self.nodes[node_index]
+        self.coordinator = CheckpointCoordinator(
+            self.coordinator_node,
+            timeout_s=timeout_s if timeout_s is not None
+            else self.coordinator_timeout_s,
+            store=self.store, retry=self.control_retry,
+            faults=self.fault_injector)
+        self.coordinator.recover()
+        return self.coordinator
 
     # -- pods and apps -----------------------------------------------------
 

@@ -12,6 +12,20 @@ channel-flush protocols of MPVM/CoCheck/LAM-MPI (§5.2):
 
 A round that times out (crashed agent, lost pod) is aborted on every node,
 so a half-taken checkpoint is never committed — two-phase-commit semantics.
+
+Reliability and crash recovery of the control plane itself:
+
+* every message rides :class:`~repro.cruz.protocol.ReliableEndpoint`
+  (per-message ACK + exponential-backoff retransmission + duplicate
+  suppression), so lossy links delay rounds instead of aborting them;
+* a sender that exhausts its retry budget fails the round immediately
+  (``_fail_epoch``) rather than waiting out the full round timeout;
+* round start/commit/abort are written ahead to the shared-filesystem
+  :class:`~repro.cruz.storage.RoundLog`; a coordinator constructed over a
+  store whose WAL holds in-flight rounds aborts them during
+  :meth:`recover` and resumes epoch numbering past every logged epoch,
+  and a commit is only declared after winning the WAL ``decide`` race
+  against any agent's unilateral abort.
 """
 
 from __future__ import annotations
@@ -23,8 +37,11 @@ from repro.cruz.protocol import (
     AGENT_PORT,
     COORDINATOR_PORT,
     ControlMessage,
+    ReliableEndpoint,
+    RetryPolicy,
     RoundStats,
 )
+from repro.cruz.storage import ImageStore
 from repro.errors import CoordinationError
 from repro.net.addresses import Ipv4Address
 from repro.simos.kernel import Node
@@ -52,37 +69,70 @@ class DistributedApp:
 class CheckpointCoordinator:
     """Drives coordinated checkpoint and restart rounds."""
 
-    def __init__(self, node: Node, timeout_s: float = 60.0):
+    def __init__(self, node: Node, timeout_s: float = 60.0,
+                 store: Optional[ImageStore] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 faults=None):
         self.node = node
         self.timeout_s = timeout_s
-        self._epoch = 0
+        self.store = store
+        self.wal = store.rounds if store is not None else None
+        self._epoch = self.wal.max_epoch() if self.wal is not None else 0
         self.rounds: List[RoundStats] = []
         #: epoch -> kind -> (expected node-name set, received messages,
         #: completion event)
         self._collectors: Dict[int, Dict[str, Dict]] = {}
         self._abort_seen: Dict[int, str] = {}
-        node.stack.udp.bind(COORDINATOR_PORT, self._on_datagram)
+        #: agent IP -> node name, best effort, for send-failure reporting.
+        self._node_names: Dict[Ipv4Address, str] = {}
+        self.endpoint = ReliableEndpoint(
+            node, COORDINATOR_PORT, self._on_message, policy=retry,
+            faults=faults, name=f"coordinator@{node.name}")
 
     # -- transport ----------------------------------------------------------
 
-    def _send(self, agent_ip: Ipv4Address, message: ControlMessage) -> None:
+    def _send(self, agent_ip: Ipv4Address, message: ControlMessage,
+              fail_round: bool = False) -> None:
+        """Reliable send; any transport failure becomes CoordinationError.
+
+        A node replacement can leave a member pointing at an address no
+        agent answers from — or not a cluster address at all. Whatever
+        the stack raises (``KeyError`` from address tables included) must
+        surface as a round failure naming the target, not escape the sim
+        process as a bare exception.
+        """
         self.node.trace.emit(self.node.sim.now, "coord_msg",
                              node=self.node.name, kind=message.kind,
                              epoch=message.epoch)
-        self.node.stack.udp.send(
-            self.node.stack.eth0.ip, COORDINATOR_PORT,
-            agent_ip, AGENT_PORT, message, payload_size=message.size)
+        on_give_up = self._on_send_give_up if fail_round else None
+        try:
+            self.endpoint.send(agent_ip, AGENT_PORT, message,
+                               on_give_up=on_give_up)
+        except Exception as exc:
+            node_name = self._node_names.get(agent_ip, f"agent@{agent_ip}")
+            error = CoordinationError(
+                f"round {message.epoch}: cannot send {message.kind} "
+                f"to {node_name}: {exc!r}")
+            error.node_name = node_name
+            raise error from exc
 
-    def _on_datagram(self, payload, _src_ip, _src_port, _dst_ip) -> None:
-        if not isinstance(payload, ControlMessage):
-            return
+    def _on_send_give_up(self, message: ControlMessage) -> None:
+        """Retry budget exhausted: fail the round now, not at timeout."""
+        self._fail_epoch(
+            message.epoch,
+            f"round {message.epoch}: no ACK for {message.kind} "
+            f"after retransmissions")
+
+    def _fail_epoch(self, epoch: int, reason: str) -> None:
+        for collector in self._collectors.get(epoch, {}).values():
+            if not collector["event"].triggered:
+                collector["event"].fail(CoordinationError(reason))
+
+    def _on_message(self, payload: ControlMessage,
+                    _src_ip: Ipv4Address) -> None:
         if payload.kind == protocol.ABORT:
             self._abort_seen[payload.epoch] = payload.reason
-            for collector in self._collectors.get(payload.epoch,
-                                                  {}).values():
-                if not collector["event"].triggered:
-                    collector["event"].fail(
-                        CoordinationError(payload.reason))
+            self._fail_epoch(payload.epoch, payload.reason)
             return
         collector = self._collectors.get(payload.epoch, {}).get(payload.kind)
         if collector is None:
@@ -111,6 +161,35 @@ class CheckpointCoordinator:
             return event.value
         raise CoordinationError(
             f"round {stats.epoch}: timed out waiting for agents")
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> List[int]:
+        """Abort every WAL round the previous incarnation left in flight.
+
+        Returns the aborted epochs. Agents that already aborted (their
+        unilateral timeout fired, or they processed a previous ABORT)
+        treat the re-notification as a stale duplicate; agents still
+        holding a paused pod abort, resume it and discard the image.
+        """
+        if self.wal is None:
+            return []
+        aborted = []
+        for record in self.wal.in_flight():
+            epoch = record["epoch"]
+            self.wal.decide(epoch, self.wal.ABORT,
+                            reason="coordinator restart",
+                            source=self.node.name, at=self.node.sim.now)
+            for ip_text, pod_name in record["members"]:
+                try:
+                    self._send(Ipv4Address.parse(ip_text), ControlMessage(
+                        kind=protocol.ABORT, epoch=epoch,
+                        pod_name=pod_name, reason="coordinator restart"))
+                except CoordinationError:
+                    pass  # best effort — the WAL outcome already stands
+            aborted.append(epoch)
+        self._epoch = max(self._epoch, self.wal.max_epoch())
+        return aborted
 
     # -- rounds ------------------------------------------------------------
 
@@ -155,9 +234,14 @@ class CheckpointCoordinator:
         self._epoch += 1
         epoch = self._epoch
         members = members if members is not None else app.members
+        for pod in app.pods:
+            self._node_names[pod.node.stack.eth0.ip] = pod.node.name
         expected_pods = {pod_name for _ip, pod_name in members}
         stats = RoundStats(epoch=epoch, kind=kind, n_nodes=len(members),
                            started_at=sim.now)
+        if self.wal is not None:
+            self.wal.log_start(epoch, kind, members, at=sim.now,
+                               coordinator=self.node.name)
         if optimized:
             disabled_event = self._expect(
                 epoch, protocol.COMM_DISABLED, expected_pods)
@@ -176,7 +260,7 @@ class CheckpointCoordinator:
                     optimized=optimized, incremental=incremental,
                     dedup=dedup,
                     version=version, early_network=early_network,
-                    concurrent=concurrent))
+                    concurrent=concurrent), fail_round=True)
                 stats.messages_sent += 1
             if optimized:
                 # Fig. 4: continue as soon as communication is disabled
@@ -185,7 +269,8 @@ class CheckpointCoordinator:
                 for agent_ip, _pod in members:
                     yield sim.timeout(costs.coordinator_message_handling)
                     self._send(agent_ip, ControlMessage(
-                        kind=protocol.CONTINUE, epoch=epoch))
+                        kind=protocol.CONTINUE, epoch=epoch),
+                        fail_round=True)
                     stats.messages_sent += 1
                 dones = yield from self._collect(done_event, stats)
                 stats.latency_s = sim.now - stats.started_at
@@ -200,7 +285,8 @@ class CheckpointCoordinator:
                 for agent_ip, _pod in members:
                     yield sim.timeout(costs.coordinator_message_handling)
                     self._send(agent_ip, ControlMessage(
-                        kind=protocol.CONTINUE, epoch=epoch))
+                        kind=protocol.CONTINUE, epoch=epoch),
+                        fail_round=True)
                     stats.messages_sent += 1
                 # Step 4: wait for all <continue-done>.
                 final = yield from self._collect(continue_done_event, stats)
@@ -208,18 +294,41 @@ class CheckpointCoordinator:
                 stats.max_local_continue_s = max(
                     (m.local_continue_s for m in final.values()),
                     default=0.0)
+            # Verified two-phase-commit outcome: the commit only stands
+            # if no agent (or recovering coordinator) aborted this epoch
+            # first — first WAL record wins.
+            if self.wal is not None:
+                outcome = self.wal.decide(epoch, self.wal.COMMIT,
+                                          source=self.node.name,
+                                          at=sim.now)
+                if outcome != self.wal.COMMIT:
+                    record = self.wal.abort_record(epoch) or {}
+                    raise CoordinationError(
+                        f"round {epoch}: aborted by "
+                        f"{record.get('source', 'unknown')} "
+                        f"({record.get('reason', 'no reason')}) "
+                        "before commit")
             stats.committed = True
-        except CoordinationError:
+        except CoordinationError as error:
             stats.aborted = True
+            if self.wal is not None:
+                self.wal.decide(epoch, self.wal.ABORT, reason=str(error),
+                                source=self.node.name, at=sim.now)
             for agent_ip, _pod in members:
-                self._send(agent_ip, ControlMessage(
-                    kind=protocol.ABORT, epoch=epoch,
-                    reason="coordinator abort"))
-                stats.messages_sent += 1
+                try:
+                    self._send(agent_ip, ControlMessage(
+                        kind=protocol.ABORT, epoch=epoch,
+                        reason="coordinator abort"))
+                    stats.messages_sent += 1
+                except CoordinationError:
+                    continue  # abort broadcast is best effort
             raise
         finally:
+            stats.retransmissions = self.endpoint.retransmissions_for(epoch)
+            stats.duplicates = self.endpoint.duplicates_for(epoch)
             self.rounds.append(stats)
             self._collectors.pop(epoch, None)
+            self.endpoint.forget_epochs_below(epoch - 1)
             self.node.trace.emit(
                 sim.now, "round", node=self.node.name, kind=kind,
                 epoch=epoch, latency=stats.latency_s,
@@ -239,4 +348,3 @@ class CheckpointCoordinator:
         stats.new_chunk_bytes = sum(m.new_chunk_bytes for m in messages)
         stats.total_chunk_bytes = sum(m.total_chunk_bytes
                                       for m in messages)
-

@@ -1,0 +1,125 @@
+"""Control-plane fault injection: drop/duplicate/delay/reorder datagrams.
+
+The reliability machinery in :class:`repro.cruz.protocol.ReliableEndpoint`
+only earns its keep if rounds *commit* under a lossy control plane, so the
+torture tests drive every coordinator/agent datagram (protocol messages
+and ACKs alike) through a :class:`ControlFaultInjector` seeded from the
+cluster's :class:`repro.sim.rand.RandomStreams` — the same seed always
+injects the same faults at the same instants.
+
+Faults are described by :class:`FaultPlan` rules, matched in order against
+each outgoing datagram by message kind and epoch. One uniform draw per
+matching plan partitions the probability mass ``[drop | duplicate |
+delay | pass]``, so the categories are mutually exclusive per datagram and
+the expected loss rate equals ``drop`` exactly. Delayed (and the second
+copy of duplicated) datagrams are re-injected after ``delay_s`` plus a
+uniform jitter, which also reorders them relative to later traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional
+
+from repro.cruz.protocol import ControlMessage
+from repro.sim.core import Simulator
+
+
+@dataclass
+class FaultPlan:
+    """One fault rule for matching control messages.
+
+    Probabilities are per-datagram and mutually exclusive (a single draw
+    decides drop vs duplicate vs delay vs clean delivery), so
+    ``drop + duplicate + delay`` must not exceed 1.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    #: Base re-injection delay for delayed/duplicated copies.
+    delay_s: float = 2e-3
+    #: Extra uniform [0, jitter_s) delay — produces reordering.
+    jitter_s: float = 3e-3
+    #: Restrict to these message kinds (None = every kind, ACKs included).
+    kinds: Optional[FrozenSet[str]] = None
+    #: Restrict to these epochs (None = every epoch).
+    epochs: Optional[FrozenSet[int]] = None
+    #: Stop injecting after this many faults (None = unlimited).
+    max_faults: Optional[int] = None
+    #: Faults charged against ``max_faults`` so far.
+    injected: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.drop + self.duplicate + self.delay > 1.0 + 1e-9:
+            raise ValueError("fault probabilities must sum to <= 1")
+        if self.kinds is not None:
+            self.kinds = frozenset(self.kinds)
+        if self.epochs is not None:
+            self.epochs = frozenset(self.epochs)
+
+    def matches(self, message: ControlMessage) -> bool:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if self.epochs is not None and message.epoch not in self.epochs:
+            return False
+        return self.max_faults is None or self.injected < self.max_faults
+
+
+class ControlFaultInjector:
+    """Applies :class:`FaultPlan` rules to outgoing control datagrams.
+
+    Wired between :class:`~repro.cruz.protocol.ReliableEndpoint` and the
+    UDP stack: ``apply(message, transmit)`` either returns ``False`` (the
+    endpoint delivers normally) or takes ownership of delivery — dropping
+    the datagram, sending it twice, or scheduling it late.
+    """
+
+    def __init__(self, sim: Simulator, rng):
+        self.sim = sim
+        self.rng = rng
+        self.plans: List[FaultPlan] = []
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.passed = 0
+
+    def add_plan(self, plan: FaultPlan) -> FaultPlan:
+        self.plans.append(plan)
+        return plan
+
+    def clear(self) -> None:
+        self.plans.clear()
+
+    @property
+    def faults_injected(self) -> int:
+        return self.dropped + self.duplicated + self.delayed
+
+    def _reinject_delay(self, plan: FaultPlan) -> float:
+        return plan.delay_s + self.rng.random() * plan.jitter_s
+
+    def apply(self, message: ControlMessage,
+              transmit: Callable[[], None]) -> bool:
+        """Returns True when the injector handled (or ate) the datagram."""
+        for plan in self.plans:
+            if not plan.matches(message):
+                continue
+            draw = self.rng.random()
+            if draw < plan.drop:
+                plan.injected += 1
+                self.dropped += 1
+                return True
+            if draw < plan.drop + plan.duplicate:
+                plan.injected += 1
+                self.duplicated += 1
+                transmit()
+                self.sim.call_later(self._reinject_delay(plan), transmit)
+                return True
+            if draw < plan.drop + plan.duplicate + plan.delay:
+                plan.injected += 1
+                self.delayed += 1
+                self.sim.call_later(self._reinject_delay(plan), transmit)
+                return True
+            break  # matched, drew "clean": first matching plan decides
+        self.passed += 1
+        return False

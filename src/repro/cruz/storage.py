@@ -95,6 +95,114 @@ def iter_page_chunks(pod_name: str, vpid: int,
                    page)
 
 
+class RoundLog:
+    """Write-ahead log of coordination rounds in the shared filesystem.
+
+    The coordinator records ``start`` before sending the first
+    ``CHECKPOINT``/``RESTART`` of an epoch and decides exactly one outcome
+    (``commit`` or ``abort``) per epoch; agents record ``abort`` when they
+    abort unilaterally. Records are tiny pickled files next to the image
+    manifests, so a coordinator restarted on any node sees every round the
+    crashed one started:
+
+    * ``in_flight()`` rounds (started, no outcome) are aborted during
+      recovery and their members re-notified;
+    * ``max_epoch()`` seeds the restarted coordinator's epoch counter, so
+      a recovering coordinator can never reuse — and thereby resurrect —
+      an epoch an agent already aborted;
+    * ``decide()`` is first-writer-wins: a coordinator about to commit
+      learns about a concurrent unilateral abort and fails the round
+      instead, making the two-phase-commit outcome verified rather than
+      assumed.
+    """
+
+    START, COMMIT, ABORT = "start", "commit", "abort"
+    _OUTCOMES = (COMMIT, ABORT)
+
+    def __init__(self, fs: SharedFileSystem,
+                 root: str = "/checkpoints/.rounds"):
+        self.fs = fs
+        self.root = root
+
+    def _path(self, epoch: int, record: str) -> str:
+        return f"{self.root}/e{epoch:08d}.{record}"
+
+    def _write(self, epoch: int, record: str, payload: Dict) -> None:
+        blob = freeze_object(payload)
+        path = self._path(epoch, record)
+        self.fs.create(path)
+        self.fs.write_at(path, 0, blob)
+
+    def _read(self, epoch: int, record: str) -> Optional[Dict]:
+        path = self._path(epoch, record)
+        if not self.fs.exists(path):
+            return None
+        return thaw_object(self.fs.read_at(path, 0, self.fs.size(path)))
+
+    # -- writing -----------------------------------------------------------
+
+    def log_start(self, epoch: int, kind: str, members, at: float = 0.0,
+                  coordinator: str = "") -> None:
+        """Record a round's membership before any message is sent."""
+        self._write(epoch, self.START, {
+            "epoch": epoch, "kind": kind, "at": at,
+            "coordinator": coordinator,
+            "members": [(str(ip), pod_name) for ip, pod_name in members],
+        })
+
+    def decide(self, epoch: int, outcome: str, reason: str = "",
+               source: str = "", at: float = 0.0) -> str:
+        """Record ``outcome`` unless one exists; returns the winner."""
+        if outcome not in self._OUTCOMES:
+            raise CheckpointError(f"unknown round outcome {outcome!r}")
+        existing = self.outcome(epoch)
+        if existing is not None:
+            return existing
+        self._write(epoch, outcome, {
+            "epoch": epoch, "reason": reason, "source": source, "at": at})
+        return outcome
+
+    def log_abort(self, epoch: int, reason: str = "", source: str = "",
+                  at: float = 0.0) -> str:
+        """Agent-side unilateral abort record (idempotent)."""
+        return self.decide(epoch, self.ABORT, reason=reason,
+                           source=source, at=at)
+
+    # -- reading -----------------------------------------------------------
+
+    def outcome(self, epoch: int) -> Optional[str]:
+        for record in self._OUTCOMES:
+            if self.fs.exists(self._path(epoch, record)):
+                return record
+        return None
+
+    def abort_record(self, epoch: int) -> Optional[Dict]:
+        return self._read(epoch, self.ABORT)
+
+    def read_start(self, epoch: int) -> Optional[Dict]:
+        return self._read(epoch, self.START)
+
+    def epochs(self) -> List[int]:
+        """Every epoch with a start record, ascending."""
+        found = []
+        prefix = f"{self.root}/e"
+        suffix = f".{self.START}"
+        for path in self.fs.listdir(prefix):
+            tail = path[len(prefix):]
+            if tail.endswith(suffix) and tail[:-len(suffix)].isdigit():
+                found.append(int(tail[:-len(suffix)]))
+        return sorted(found)
+
+    def max_epoch(self) -> int:
+        epochs = self.epochs()
+        return epochs[-1] if epochs else 0
+
+    def in_flight(self) -> List[Dict]:
+        """Start records of rounds with no recorded outcome."""
+        return [self.read_start(epoch) for epoch in self.epochs()
+                if self.outcome(epoch) is None]
+
+
 class ChunkStore:
     """Content-addressed, refcounted chunks in the shared filesystem."""
 
@@ -212,6 +320,8 @@ class ImageStore:
         self.fs = fs
         self.root = root
         self.chunks = ChunkStore(fs, root=f"{root}/.chunks")
+        #: Coordination-round WAL, shared (like the images) by every node.
+        self.rounds = RoundLog(fs, root=f"{root}/.rounds")
         self._latest: Dict[str, int] = {}
         self._attached = False
         self.last_plan: Optional[SavePlan] = None

@@ -1,0 +1,176 @@
+"""Control-plane fault injection: rounds must commit under loss.
+
+The headline scenario from the issue: with a fixed seed and a 15%
+control-datagram drop rate, a 4-node checkpoint round still commits via
+ACK/retransmission, and RoundStats reports the retries without inflating
+the paper-comparable Fig. 5 message counts.
+"""
+
+import pytest
+
+from repro.apps.ring import validate_ring
+from repro.cruz.faults import FaultPlan
+from repro.cruz.protocol import CHECKPOINT, RetryPolicy
+from repro.errors import CoordinationError
+
+from tests.test_cruz_coordination import (
+    make_cluster,
+    ring_app,
+    run_app_to_completion,
+    workers_of,
+)
+
+
+def total_agent(cluster, counter):
+    return sum(getattr(agent.endpoint, counter) for agent in cluster.agents)
+
+
+def test_round_commits_under_15_percent_drop():
+    """The acceptance scenario: 15% loss, fixed seed, 4 nodes."""
+    cluster = make_cluster(4, seed=7)
+    cluster.add_control_fault(FaultPlan(drop=0.15))
+    app = ring_app(cluster, 4)
+    cluster.run_for(0.2)
+    before = cluster.coordination_message_count()
+    stats = cluster.checkpoint_app(app)
+    assert stats.committed and not stats.aborted
+    # Losses really happened and retransmission papered over them.
+    assert cluster.fault_injector.dropped > 0
+    total_retx = stats.retransmissions + \
+        total_agent(cluster, "retransmissions")
+    assert total_retx > 0
+    # The paper-comparable counts are first transmissions only: 2N sent
+    # (checkpoint + continue) and 2N received (done + continue-done),
+    # regardless of how many datagrams the transport needed.
+    assert stats.messages_sent == 8
+    assert stats.messages_received == 8
+    assert cluster.coordination_message_count() - before == 16
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_optimized_round_commits_under_drop():
+    cluster = make_cluster(4, seed=7)
+    cluster.add_control_fault(FaultPlan(drop=0.15))
+    app = ring_app(cluster, 4)
+    cluster.run_for(0.2)
+    stats = cluster.checkpoint_app(app, optimized=True, early_network=True)
+    assert stats.committed
+    assert stats.messages_sent == 8
+    assert stats.messages_received == 8
+    for node in cluster.nodes:
+        assert not node.stack.netfilter.rules
+
+
+def test_duplicate_messages_are_suppressed():
+    """Every protocol datagram duplicated: handlers still run once."""
+    cluster = make_cluster(2, seed=11)
+    cluster.add_control_fault(FaultPlan(duplicate=1.0))
+    app = ring_app(cluster, 2)
+    cluster.run_for(0.2)
+    before = cluster.coordination_message_count()
+    stats = cluster.checkpoint_app(app)
+    cluster.run_for(0.1)  # let the late copies land
+    assert stats.committed
+    assert cluster.fault_injector.duplicated > 0
+    # Duplicates were seen and suppressed somewhere (either side).
+    assert stats.duplicates + total_agent(cluster, "duplicates") > 0
+    # Exactly one image version per pod despite duplicated CHECKPOINTs.
+    for pod in app.pods:
+        assert cluster.store.versions(pod.name) == [1]
+    assert cluster.coordination_message_count() - before == 8
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_delayed_messages_reorder_but_do_not_corrupt():
+    cluster = make_cluster(3, seed=13)
+    cluster.add_control_fault(
+        FaultPlan(delay=0.5, delay_s=5e-3, jitter_s=1e-2))
+    app = ring_app(cluster, 3)
+    cluster.run_for(0.2)
+    first = cluster.checkpoint_app(app)
+    second = cluster.checkpoint_app(app)
+    assert first.committed and second.committed
+    assert cluster.fault_injector.delayed > 0
+    assert first.messages_sent == 6 and second.messages_sent == 6
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_total_loss_of_checkpoint_exhausts_retries_and_aborts():
+    """A dead path fails the round at retry-budget exhaustion, well
+    before the round timeout, and the next (clean) round commits."""
+    retry = RetryPolicy(initial_backoff_s=0.01, max_backoff_s=0.05,
+                        max_retries=3)
+    cluster = make_cluster(2, seed=5, coordinator_timeout_s=60.0,
+                           control_retry=retry)
+    plan = cluster.add_control_fault(
+        FaultPlan(drop=1.0, kinds={CHECKPOINT}))
+    app = ring_app(cluster, 2, max_token=50000)
+    cluster.run_for(0.2)
+    started = cluster.sim.now
+    with pytest.raises(CoordinationError, match="no ACK"):
+        cluster.checkpoint_app(app)
+    assert cluster.sim.now - started < 1.0  # give-up, not round timeout
+    cluster.fault_injector.clear()
+    cluster.run_for(0.5)
+    stats = cluster.checkpoint_app(app)
+    assert stats.committed
+    del plan
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_fault_plan_rejects_probabilities_over_one():
+    with pytest.raises(ValueError, match="sum to <= 1"):
+        FaultPlan(drop=0.7, duplicate=0.4)
+
+
+def test_fault_plan_filters_by_kind_epoch_and_budget():
+    from repro.cruz.protocol import ControlMessage, DONE
+    plan = FaultPlan(drop=1.0, kinds={DONE}, epochs={2}, max_faults=1)
+    assert plan.matches(ControlMessage(kind=DONE, epoch=2))
+    assert not plan.matches(ControlMessage(kind=CHECKPOINT, epoch=2))
+    assert not plan.matches(ControlMessage(kind=DONE, epoch=3))
+    plan.injected = 1
+    assert not plan.matches(ControlMessage(kind=DONE, epoch=2))
+
+
+@pytest.mark.torture
+@pytest.mark.parametrize("drop,seed", [(0.10, 101), (0.15, 202),
+                                       (0.20, 303)])
+def test_torture_repeated_rounds_under_loss(drop, seed):
+    """Several mixed-protocol rounds commit under sustained loss and the
+    application still terminates with a valid ring."""
+    cluster = make_cluster(4, seed=seed, coordinator_timeout_s=60.0)
+    cluster.add_control_fault(FaultPlan(drop=drop))
+    app = ring_app(cluster, 4, max_token=4000)
+    for index in range(4):
+        cluster.run_for(0.3)
+        stats = cluster.checkpoint_app(
+            app, optimized=bool(index % 2),
+            early_network=bool(index % 2), limit=1e7)
+        assert stats.committed, f"round {index} under {drop:.0%} loss"
+    assert cluster.fault_injector.dropped > 0
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+    for node in cluster.nodes:
+        assert not node.stack.netfilter.rules
+
+
+@pytest.mark.torture
+def test_torture_mixed_faults_with_restart(seed=909):
+    """Drop + duplicate + delay together, plus a crash/restart cycle."""
+    cluster = make_cluster(3, seed=seed, coordinator_timeout_s=60.0)
+    cluster.add_control_fault(
+        FaultPlan(drop=0.10, duplicate=0.10, delay=0.10))
+    app = ring_app(cluster, 3, max_token=6000)
+    cluster.run_for(0.3)
+    assert cluster.checkpoint_app(app, limit=1e7).committed
+    cluster.run_for(0.3)
+    cluster.crash_app(app)
+    restart = cluster.restart_app(app, limit=1e7)
+    assert restart.committed
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))

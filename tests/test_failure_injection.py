@@ -53,11 +53,11 @@ def test_link_flap_during_checkpoint_round():
     cluster = make_cluster(2, coordinator_timeout_s=60.0)
     app = ring_app(cluster, 2, max_token=4000)
     cluster.run_for(0.2)
-    # Flap node0's link during the round: coordination messages are UDP,
-    # so the coordinator keeps waiting; agents' DONEs... UDP has no
-    # retransmission, so the protocol relies on the coordinator timeout.
-    # Flap BEFORE the round instead: the checkpoint message to node0 is
-    # lost and the round aborts cleanly.
+    # Take node0's link down for the whole round: every transmission of
+    # <checkpoint> (original and retries) is lost, the sender exhausts
+    # its retry budget and fails the round well before the 60 s round
+    # timeout. A *shorter* flap would instead be ridden out by
+    # retransmission (tests/test_control_faults.py).
     cluster.links[0].down = True
     with pytest.raises(CoordinationError):
         cluster.checkpoint_app(app, limit=1e6)
@@ -102,6 +102,144 @@ def test_torture_random_checkpoints_and_migrations_stay_bit_identical():
     field = assemble_field(cluster.app_programs(app))
     np.testing.assert_array_equal(field,
                                   reference_solution(16, 24, steps))
+
+
+def test_coordinator_crash_then_restart_recovers_via_wal():
+    """A replacement coordinator re-attaches through the shared-store
+    round log: it aborts the round its predecessor left in flight, never
+    commits it, and resumes epoch numbering past it."""
+    cluster = make_cluster(2, coordinator_timeout_s=300.0)
+    for agent in cluster.agents:
+        agent.continue_timeout_s = 5.0
+    app = ring_app(cluster, 2, max_token=30000)
+    cluster.run_for(0.2)
+
+    task = cluster.sim.process(cluster.coordinator.checkpoint(app))
+    cluster.run_for(0.001)  # <checkpoint> logged and sent, saves started
+    epoch = cluster.coordinator._epoch
+    assert cluster.store.rounds.outcome(epoch) is None  # in flight
+    cluster.crash_coordinator()
+    cluster.run_for(0.5)
+
+    replacement = cluster.restart_coordinator()
+    # Recovery decided the in-flight round: aborted, with a record.
+    assert cluster.store.rounds.outcome(epoch) == "abort"
+    record = cluster.store.rounds.abort_record(epoch)
+    assert record["reason"] == "coordinator restart"
+    cluster.run_for(2.0)
+    # No half-taken checkpoint was committed.
+    for pod in app.pods:
+        with pytest.raises(Exception):
+            cluster.store.latest_version(pod.name)
+    for index, pod in enumerate(app.pods):
+        assert not cluster.nodes[index].stack.netfilter.rules
+        assert any(p.is_alive for p in pod.processes())
+    del task
+    # The replacement runs the next round under a fresh epoch.
+    stats = cluster.checkpoint_app(app)
+    assert stats.committed
+    assert stats.epoch == epoch + 1
+    assert replacement is cluster.coordinator
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_agent_unilateral_abort_is_logged_to_wal():
+    """Silent-coordinator aborts leave an abort record agents of a later
+    recovery (and the verified commit) can see."""
+    cluster = make_cluster(2, coordinator_timeout_s=300.0)
+    for agent in cluster.agents:
+        agent.continue_timeout_s = 1.0
+    app = ring_app(cluster, 2, max_token=30000)
+    cluster.run_for(0.2)
+    task = cluster.sim.process(cluster.coordinator.checkpoint(app))
+    cluster.run_for(0.001)
+    epoch = cluster.coordinator._epoch
+    cluster.crash_coordinator()
+    cluster.run_for(3.0)  # agents time out and abort unilaterally
+    assert all(agent.unilateral_aborts == 1 for agent in cluster.agents)
+    record = cluster.store.rounds.abort_record(epoch)
+    assert record is not None
+    assert record["reason"] == "coordinator silent"
+    del task
+
+
+def test_abort_in_early_network_mode_removes_filters_everywhere():
+    """Regression: an abort after <comm-disabled> in the optimized /
+    early-network flow must remove the netfilter rules on every node,
+    crashed saves included."""
+    cluster = make_cluster(3, coordinator_timeout_s=2.0)
+    app = ring_app(cluster, 3, max_token=100000)
+    cluster.run_for(0.2)
+    # Agent 2 disables comms, then its save errors out: its pod's filter
+    # rule must not outlive the round.
+    agent = cluster.agents[2]
+    original = agent.checkpoint_engine.checkpoint
+
+    def exploding_checkpoint(pod, **kwargs):
+        raise RuntimeError("disk died mid-save")
+        yield  # pragma: no cover - make it a generator
+
+    agent.checkpoint_engine.checkpoint = exploding_checkpoint
+    with pytest.raises(CoordinationError):
+        cluster.checkpoint_app(app, optimized=True, early_network=True)
+    agent.checkpoint_engine.checkpoint = original
+    cluster.run_for(1.0)  # aborts land everywhere
+    for node in cluster.nodes:
+        assert not node.stack.netfilter.rules
+    stats = cluster.checkpoint_app(app, optimized=True,
+                                   early_network=True)
+    assert stats.committed
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_stale_epoch_checkpoint_does_not_recreate_round_state():
+    """Regression: a control message for an epoch at or below the last
+    completed round must be dropped, not re-create `_rounds` state."""
+    from repro.cruz.protocol import CHECKPOINT, CONTINUE, ControlMessage
+    cluster = make_cluster(2)
+    app = ring_app(cluster, 2, max_token=50000)
+    cluster.run_for(0.2)
+    stats = cluster.checkpoint_app(app)
+    assert stats.committed
+    agent = cluster.agents[0]
+    epoch = stats.epoch
+    assert agent.last_completed_epoch >= epoch
+    assert not agent._rounds
+    versions_before = cluster.store.versions(app.pods[0].name)
+    coord_ip = cluster.coordinator_node.stack.eth0.ip
+    # A straggler retransmission from the completed round, bypassing the
+    # endpoint's dedup cache (as after forget_epochs_below).
+    agent._on_message(ControlMessage(
+        kind=CHECKPOINT, epoch=epoch, pod_name=app.pods[0].name),
+        coord_ip)
+    agent._on_message(ControlMessage(kind=CONTINUE, epoch=epoch),
+                      coord_ip)
+    cluster.run_for(1.0)
+    assert not agent._rounds  # no resurrected round state
+    assert cluster.store.versions(app.pods[0].name) == versions_before
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_send_failure_surfaces_as_coordination_error_with_node():
+    """Regression: transport-layer exceptions (e.g. KeyError from an
+    address table) must surface as CoordinationError naming the target
+    node, not escape as a bare exception."""
+    cluster = make_cluster(2, coordinator_timeout_s=5.0)
+    app = ring_app(cluster, 2, max_token=50000)
+    cluster.run_for(0.2)
+
+    def broken_send(*_args, **_kwargs):
+        raise KeyError("no route to host")
+
+    cluster.coordinator.endpoint.send = broken_send
+    with pytest.raises(CoordinationError, match="cannot send") as info:
+        cluster.checkpoint_app(app)
+    assert info.value.node_name == cluster.nodes[0].name
+    epoch = cluster.coordinator._epoch
+    assert cluster.store.rounds.outcome(epoch) == "abort"
 
 
 def test_checkpoint_storm_every_100ms():

@@ -143,9 +143,9 @@ def test_stale_control_messages_are_ignored():
     cluster.run_for(0.2)
     # Inject a bogus DONE for an epoch the coordinator never started.
     coordinator = cluster.coordinator
-    coordinator._on_datagram(
+    coordinator._on_message(
         ControlMessage(kind="DONE", epoch=999, pod_name="x",
-                       node_name="node0"), None, 0, None)
+                       node_name="node0"), None)
     stats = cluster.checkpoint_app(app)
     assert stats.committed
 
