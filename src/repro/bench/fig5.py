@@ -12,12 +12,14 @@ every 8 s of execution, coordinator on a separate node. Reported results:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.slm import slm_factory
-from repro.bench.harness import Stat
+from repro.bench.harness import ShapeReport, Stat
 from repro.cruz.cluster import CruzCluster
+from repro.cruz.protocol import RoundStats
+from repro.sim.spans import SpanRecorder
 
 
 @dataclass
@@ -30,6 +32,31 @@ class Fig5Point:
     local_save: Stat         # seconds (the disk-bound component)
     restart_latency: Stat    # seconds (§6: "similar", figure omitted)
     messages_per_round: float
+    #: The raw per-round coordinator stats the Stats above derive from —
+    #: kept so regression tests can cross-check the span-derived numbers
+    #: against the RoundStats bookkeeping.
+    rounds: List[RoundStats] = field(default_factory=list)
+    restart_round: Optional[RoundStats] = None
+
+
+def round_span_metrics(spans: SpanRecorder,
+                       stats: RoundStats) -> Tuple[float, float, float]:
+    """(latency, overhead, local) of one round, from the span timeline.
+
+    The Fig. 5a latency is the ``round`` span's start to the end of the
+    coordinator's ``coord.wait_done`` phase; the local component is the
+    slowest node's ``agent.local`` span; overhead is the difference —
+    exactly the quantities ``RoundStats`` reports, reconstructed from the
+    timeline (the spans open/close at the same simulation instants the
+    coordinator samples its clock, so the floats are identical).
+    """
+    round_span = spans.one("round", epoch=stats.epoch)
+    done = spans.one("coord.wait_done", epoch=stats.epoch)
+    latency = done.end - round_span.start
+    locals_ = [s.duration
+               for s in spans.query("agent.local", epoch=stats.epoch)]
+    local = max(locals_) if locals_ else 0.0
+    return latency, latency - local, local
 
 
 def run_fig5(node_counts: Sequence[int] = (2, 4, 6, 8),
@@ -66,36 +93,63 @@ def run_fig5(node_counts: Sequence[int] = (2, 4, 6, 8),
         # Restart measurement: crash and restart from the last image.
         cluster.crash_app(app)
         restart_stats = cluster.restart_app(app)
+        # Derive the figure's numbers from the span timeline rather than
+        # the coordinator's private bookkeeping.
+        spans = cluster.spans
+        measured = [round_span_metrics(spans, r)
+                    for r in checkpoint_rounds]
+        restart_latency, _, _ = round_span_metrics(spans, restart_stats)
         points.append(Fig5Point(
             n_nodes=n_nodes,
-            latency=Stat.of([r.latency_s for r in checkpoint_rounds]),
-            overhead=Stat.of(
-                [r.coordination_overhead_s for r in checkpoint_rounds]),
-            local_save=Stat.of(
-                [r.max_local_op_s for r in checkpoint_rounds]),
-            restart_latency=Stat.of([restart_stats.latency_s]),
-            messages_per_round=sum(message_counts) / len(message_counts)))
+            latency=Stat.of([latency for latency, _, _ in measured]),
+            overhead=Stat.of([overhead for _, overhead, _ in measured]),
+            local_save=Stat.of([local for _, _, local in measured]),
+            restart_latency=Stat.of([restart_latency]),
+            messages_per_round=sum(message_counts) / len(message_counts),
+            rounds=checkpoint_rounds,
+            restart_round=restart_stats))
     return points
 
 
-def fig5_shape_holds(points: List[Fig5Point]) -> dict:
-    """The paper's qualitative claims as checkable predicates."""
+def fig5_shape_report(points: List[Fig5Point]) -> ShapeReport:
+    """The paper's qualitative claims as a checkable shape report."""
     latencies = [p.latency.mean for p in points]
     overheads = [p.overhead.mean for p in points]
-    return {
-        # 5(a): latency is ~constant (disk-bound), around a second.
-        "latency_flat": max(latencies) < 1.3 * min(latencies),
-        "latency_is_seconds_scale": all(0.3 < v < 3.0 for v in latencies),
-        # 5(a): latency is dominated by the local save.
-        "save_dominates": all(
-            p.local_save.mean > 0.95 * p.latency.mean for p in points),
-        # 5(b): overhead is microseconds, far below the latency.
-        "overhead_microseconds": all(
-            1e-5 < v < 5e-3 for v in overheads),
-        # 5(b): overhead grows with node count.
-        "overhead_grows": overheads[-1] > overheads[0],
-        # restart comparable to checkpoint.
-        "restart_similar": all(
-            0.3 * p.latency.mean < p.restart_latency.mean
-            < 3.0 * p.latency.mean for p in points),
-    }
+    report = ShapeReport("Fig. 5 shape")
+    # 5(a): latency is ~constant (disk-bound), around a second.
+    report.check("latency_flat",
+                 max(latencies) < 1.3 * min(latencies),
+                 value=max(latencies) / min(latencies),
+                 expect="max/min < 1.3 across node counts")
+    report.check("latency_is_seconds_scale",
+                 all(0.3 < v < 3.0 for v in latencies),
+                 value=latencies, expect="0.3 s < latency < 3 s")
+    # 5(a): latency is dominated by the local save.
+    report.check("save_dominates",
+                 all(p.local_save.mean > 0.95 * p.latency.mean
+                     for p in points),
+                 value=min(p.local_save.mean / p.latency.mean
+                           for p in points),
+                 expect="local save > 95% of latency")
+    # 5(b): overhead is microseconds, far below the latency.
+    report.check("overhead_microseconds",
+                 all(1e-5 < v < 5e-3 for v in overheads),
+                 value=overheads, expect="10 µs < overhead < 5 ms")
+    # 5(b): overhead grows with node count (needs two counts to tell).
+    report.check("overhead_grows",
+                 len(points) < 2 or overheads[-1] > overheads[0],
+                 value=overheads[-1] - overheads[0],
+                 expect="overhead(N_max) > overhead(N_min)")
+    # restart comparable to checkpoint.
+    report.check("restart_similar",
+                 all(0.3 * p.latency.mean < p.restart_latency.mean
+                     < 3.0 * p.latency.mean for p in points),
+                 value=[p.restart_latency.mean / p.latency.mean
+                        for p in points],
+                 expect="restart within 0.3x-3x of checkpoint")
+    return report
+
+
+def fig5_shape_holds(points: List[Fig5Point]) -> dict:
+    """Deprecated: use :func:`fig5_shape_report`; kept for old callers."""
+    return fig5_shape_report(points).as_dict()

@@ -15,10 +15,13 @@ at t = 0. Reported behaviour:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.apps.tcpstream import stream_factory
+from repro.bench.fig5 import round_span_metrics
+from repro.bench.harness import ShapeReport
 from repro.cruz.cluster import CruzCluster
+from repro.cruz.protocol import RoundStats
 
 
 @dataclass
@@ -35,6 +38,13 @@ class Fig6Result:
     pulse_time_s: float = -1.0
     #: When the stream is back above half its original rate for good.
     recovery_time_s: float = 0.0
+    #: Raw coordinator stats for the round (for cross-checks).
+    round: Optional[RoundStats] = None
+    #: Times (relative to checkpoint start) of TCP retransmissions the
+    #: recovery depends on, from the ``tcp.retransmit`` span instants.
+    retransmit_times_s: List[float] = field(default_factory=list)
+    #: Bytes the receiver drained at unfreeze (``tcp.drain`` instants).
+    drain_bytes: int = 0
 
     @property
     def outage_after_checkpoint_s(self) -> float:
@@ -74,9 +84,21 @@ def run_fig6(window_s: float = 0.010,
         "app", "nbytes", window=window_s,
         t_start=t0 - 0.05, t_end=t0 + follow_s - 2 * window_s,
         step=sample_step_s, node=receiver_node)
+    # The checkpoint duration comes off the span timeline: round start to
+    # the end of the coordinator's wait-for-<done> phase — the same
+    # instants RoundStats.latency_s samples.
+    spans = cluster.spans
+    checkpoint_duration_s, _, _ = round_span_metrics(spans, stats)
     result = Fig6Result(
         series=[(t - t0, rate * 8) for t, rate in series],
-        checkpoint_duration_s=stats.latency_s)
+        checkpoint_duration_s=checkpoint_duration_s,
+        round=stats,
+        retransmit_times_s=[
+            s.start - t0 for s in spans.query("tcp.retransmit")
+            if s.start >= t0],
+        drain_bytes=sum(
+            s.attrs.get("nbytes", 0) for s in spans.query("tcp.drain")
+            if s.start >= t0))
 
     pre = [rate for t, rate in result.series if t < 0]
     result.pre_checkpoint_rate_bps = max(pre) if pre else 0.0
@@ -103,19 +125,33 @@ def run_fig6(window_s: float = 0.010,
     return result
 
 
+def fig6_shape_report(result: Fig6Result) -> ShapeReport:
+    """The paper's qualitative Fig. 6 claims as a shape report."""
+    report = ShapeReport("Fig. 6 shape")
+    report.check("rate_drops_to_zero",
+                 any(rate == 0.0 for t, rate in result.series if t > 0),
+                 expect="delivery stalls during the checkpoint")
+    report.check("checkpoint_is_100ms_scale",
+                 0.02 < result.checkpoint_duration_s < 0.5,
+                 value=result.checkpoint_duration_s,
+                 expect="20 ms < duration < 500 ms")
+    report.check("drain_pulse_after_resume",
+                 result.pulse_time_s >= result.checkpoint_duration_s,
+                 value=result.pulse_time_s,
+                 expect="receiver drain pulse after completion")
+    report.check("recovery_within_rto_scale",
+                 0.0 < result.outage_after_checkpoint_s < 0.35,
+                 value=result.outage_after_checkpoint_s,
+                 expect="outage < 350 ms (TCP backoff scale)")
+    report.check("rate_restored",
+                 bool(result.series) and max(
+                     rate for t, rate in result.series
+                     if t > result.recovery_time_s) >
+                 result.pre_checkpoint_rate_bps * 0.6,
+                 expect="stream returns to >60% of its old rate")
+    return report
+
+
 def fig6_shape_holds(result: Fig6Result) -> dict:
-    """The paper's qualitative Fig. 6 claims."""
-    return {
-        "rate_drops_to_zero": any(
-            rate == 0.0 for t, rate in result.series if t > 0),
-        "checkpoint_is_100ms_scale":
-            0.02 < result.checkpoint_duration_s < 0.5,
-        "drain_pulse_after_resume":
-            result.pulse_time_s >= result.checkpoint_duration_s,
-        "recovery_within_rto_scale":
-            0.0 < result.outage_after_checkpoint_s < 0.35,
-        "rate_restored": result.series and max(
-            rate for t, rate in result.series
-            if t > result.recovery_time_s) >
-            result.pre_checkpoint_rate_bps * 0.6,
-    }
+    """Deprecated: use :func:`fig6_shape_report`; kept for old callers."""
+    return fig6_shape_report(result).as_dict()

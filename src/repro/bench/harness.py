@@ -1,10 +1,10 @@
-"""Shared benchmark utilities: result records and table rendering."""
+"""Shared benchmark utilities: result records, shape reports, tables."""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass
@@ -28,6 +28,77 @@ class Stat:
 
     def __str__(self) -> str:
         return f"{self.mean:.3g} ± {self.std:.2g}"
+
+
+@dataclass
+class ShapeCheck:
+    """One named predicate of a figure's qualitative shape."""
+
+    name: str
+    ok: bool
+    #: The measured quantity behind the verdict (whatever is most useful
+    #: to show a human: a float, a list of means, ...).
+    value: Any = None
+    #: What the paper says the value should look like.
+    expect: str = ""
+
+
+class ShapeReport:
+    """Named pass/fail checks for one benchmark's qualitative shape.
+
+    This is the unified result convention for every ``bench`` harness:
+    build with :meth:`check`, inspect with ``report["check_name"]`` or
+    :meth:`as_dict` (the legacy ``*_shape_holds`` dict), render with
+    :meth:`render`, serialize with :meth:`to_jsonable`.
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.checks: List[ShapeCheck] = []
+
+    def check(self, name: str, ok: bool, value: Any = None,
+              expect: str = "") -> bool:
+        self.checks.append(ShapeCheck(name, bool(ok), value, expect))
+        return ok
+
+    @property
+    def passed(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def __getitem__(self, name: str) -> bool:
+        for check in self.checks:
+            if check.name == name:
+                return check.ok
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+    def as_dict(self) -> Dict[str, bool]:
+        """The legacy ``{check_name: bool}`` mapping."""
+        return {c.name: c.ok for c in self.checks}
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "title": self.title,
+            "passed": self.passed,
+            "checks": [{"name": c.name, "ok": c.ok, "value": c.value,
+                        "expect": c.expect} for c in self.checks],
+        }
+
+    def render(self) -> str:
+        rows = []
+        for c in self.checks:
+            value = "" if c.value is None else (
+                f"{c.value:.4g}" if isinstance(c.value, float)
+                else str(c.value))
+            rows.append([c.name, "PASS" if c.ok else "FAIL", value,
+                         c.expect])
+        verdict = "all checks pass" if self.passed else "CHECKS FAILED"
+        return render_table(
+            self.title or "shape checks",
+            ["check", "verdict", "measured", "expected"],
+            rows, note=verdict)
 
 
 def render_table(title: str, headers: List[str],

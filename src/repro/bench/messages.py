@@ -16,6 +16,7 @@ from repro.baselines.flush import (
     install_flush_baseline,
     restart_message_estimate,
 )
+from repro.bench.harness import ShapeReport
 from repro.cruz.cluster import CruzCluster
 
 
@@ -62,24 +63,41 @@ def run_messages(node_counts: Sequence[int] = (2, 4, 8, 16),
     return points
 
 
-def messages_shape_holds(points: List[MessagePoint]) -> dict:
+def messages_shape_report(points: List[MessagePoint]) -> ShapeReport:
     by_n = {p.n_nodes: p for p in points}
     ns = sorted(by_n)
     first, last = by_n[ns[0]], by_n[ns[-1]]
     scale = ns[-1] / ns[0]
-    return {
-        # Cruz: exactly linear (4 messages per node).
-        "cruz_linear": all(by_n[n].cruz_messages == 4 * n for n in ns),
-        # Flush: superlinear growth (4N + N(N-1)).
-        "flush_quadratic": all(
-            by_n[n].flush_messages == 4 * n + n * (n - 1) for n in ns),
-        # The gap widens with N.
-        "gap_widens": (last.flush_messages / last.cruz_messages) >
-                      (first.flush_messages / first.cruz_messages),
-        # Cruz is never slower per round.
-        "cruz_latency_wins": all(
-            by_n[n].cruz_latency_s <= by_n[n].flush_latency_s
-            for n in ns),
-        "cruz_message_growth_matches_scale":
-            last.cruz_messages == first.cruz_messages * scale,
-    }
+    report = ShapeReport("Message complexity shape")
+    # Cruz: exactly linear (4 messages per node).
+    report.check("cruz_linear",
+                 all(by_n[n].cruz_messages == 4 * n for n in ns),
+                 value=[by_n[n].cruz_messages for n in ns],
+                 expect="exactly 4N per round")
+    # Flush: superlinear growth (4N + N(N-1)).
+    report.check("flush_quadratic",
+                 all(by_n[n].flush_messages == 4 * n + n * (n - 1)
+                     for n in ns),
+                 value=[by_n[n].flush_messages for n in ns],
+                 expect="4N + N(N-1) per round")
+    # The gap widens with N.
+    report.check("gap_widens",
+                 (last.flush_messages / last.cruz_messages) >
+                 (first.flush_messages / first.cruz_messages),
+                 value=last.flush_messages / last.cruz_messages,
+                 expect="flush/cruz ratio grows with N")
+    # Cruz is never slower per round.
+    report.check("cruz_latency_wins",
+                 all(by_n[n].cruz_latency_s <= by_n[n].flush_latency_s
+                     for n in ns),
+                 expect="cruz round latency <= flush")
+    report.check("cruz_message_growth_matches_scale",
+                 last.cruz_messages == first.cruz_messages * scale,
+                 value=last.cruz_messages / first.cruz_messages,
+                 expect=f"count grows exactly {scale:g}x")
+    return report
+
+
+def messages_shape_holds(points: List[MessagePoint]) -> dict:
+    """Deprecated: use :func:`messages_shape_report`."""
+    return messages_shape_report(points).as_dict()

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.apps.compute import compute_factory
+from repro.bench.harness import ShapeReport
 from repro.cruz.cluster import CruzCluster
 
 
@@ -37,17 +38,12 @@ class OptimizationResult:
         return min(self.optimized_pause_s.values())
 
 
-def _pause_durations(cluster, epoch_filter=None) -> Dict[str, float]:
-    paused = {}
-    durations = {}
-    for record in cluster.trace.records:
-        if record.category == "pod_paused":
-            paused[record.detail["pod"]] = record.time
-        elif record.category == "pod_resumed":
-            pod = record.detail["pod"]
-            if pod in paused:
-                durations[pod] = record.time - paused.pop(pod)
-    return durations
+def _pause_durations(cluster, epoch=None) -> Dict[str, float]:
+    """Per-pod pause windows, straight off the ``agent.pod_pause`` spans
+    (which begin at the pod_paused instant and end at pod_resumed)."""
+    attrs = {} if epoch is None else {"epoch": epoch}
+    return {span.attrs["pod"]: span.duration
+            for span in cluster.spans.query("agent.pod_pause", **attrs)}
 
 
 def run_optimization(n_nodes: int = 4,
@@ -73,18 +69,33 @@ def run_optimization(n_nodes: int = 4,
         optimized_round_total_s=optimized_total)
 
 
-def optimization_shape_holds(result: OptimizationResult) -> dict:
+def optimization_shape_report(result: OptimizationResult) -> ShapeReport:
     blocking = result.blocking_pause_s
     optimized = result.optimized_pause_s
     slowest = max(blocking, key=blocking.get)
     fast_pods = [pod for pod in blocking if pod != slowest]
-    return {
-        # Blocking: everyone pauses for about the slowest node's save.
-        "blocking_all_wait": all(
-            blocking[pod] > 0.9 * blocking[slowest] for pod in blocking),
-        # Optimised: small-state pods resume much earlier.
-        "optimized_fast_pods_resume_early": all(
-            optimized[pod] < 0.5 * blocking[pod] for pod in fast_pods),
-        # The slowest pod cannot do better than its own save time.
-        "slowest_unchanged": optimized[slowest] > 0.5 * blocking[slowest],
-    }
+    report = ShapeReport("Fig. 4 optimisation shape")
+    # Blocking: everyone pauses for about the slowest node's save.
+    report.check("blocking_all_wait",
+                 all(blocking[pod] > 0.9 * blocking[slowest]
+                     for pod in blocking),
+                 value=min(blocking.values()) / blocking[slowest],
+                 expect="every pause > 90% of the slowest")
+    # Optimised: small-state pods resume much earlier.
+    report.check("optimized_fast_pods_resume_early",
+                 all(optimized[pod] < 0.5 * blocking[pod]
+                     for pod in fast_pods),
+                 value=max((optimized[pod] / blocking[pod]
+                            for pod in fast_pods), default=0.0),
+                 expect="fast pods pause < 50% of blocking")
+    # The slowest pod cannot do better than its own save time.
+    report.check("slowest_unchanged",
+                 optimized[slowest] > 0.5 * blocking[slowest],
+                 value=optimized[slowest] / blocking[slowest],
+                 expect="slowest pod's pause is save-bound")
+    return report
+
+
+def optimization_shape_holds(result: OptimizationResult) -> dict:
+    """Deprecated: use :func:`optimization_shape_report`."""
+    return optimization_shape_report(result).as_dict()

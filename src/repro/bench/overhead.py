@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.apps.slm import slm_factory
+from repro.bench.harness import ShapeReport
 from repro.cruz.cluster import CruzCluster
 
 
@@ -56,9 +57,19 @@ def run_overhead(n_nodes: int = 2, steps: int = 200,
                           pod_runtime_s=pod_runtime)
 
 
+def overhead_shape_report(result: OverheadResult) -> ShapeReport:
+    report = ShapeReport("Runtime overhead shape")
+    report.check("overhead_positive",
+                 result.overhead_fraction >= 0.0,
+                 value=result.overhead_fraction,
+                 expect="virtualization costs something")
+    report.check("overhead_below_half_percent",
+                 result.overhead_fraction < 0.005,
+                 value=result.overhead_fraction,
+                 expect="< 0.5% (§6)")
+    return report
+
+
 def overhead_shape_holds(result: OverheadResult) -> dict:
-    return {
-        "overhead_positive": result.overhead_fraction >= 0.0,
-        "overhead_below_half_percent":
-            result.overhead_fraction < 0.005,
-    }
+    """Deprecated: use :func:`overhead_shape_report`."""
+    return overhead_shape_report(result).as_dict()

@@ -1,20 +1,59 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Commands regenerate the paper's experiments or run narrated demos without
-touching pytest — the quickest way to kick the tyres.
+touching pytest — the quickest way to kick the tyres. Every subcommand
+takes ``--json`` to emit its result as machine-readable JSON instead of
+tables; ``trace`` exports a checkpoint round's span timeline as Chrome
+``trace_event`` JSON or a flat summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import math
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert harness results to JSON-serialisable data.
+
+    Understands anything with a ``to_jsonable`` method (ShapeReport),
+    dataclasses (Stat, Fig5Point, RoundStats...), mappings and sequences.
+    Non-finite floats become ``None`` so the output stays strict JSON.
+    """
+    if hasattr(obj, "to_jsonable"):
+        return to_jsonable(obj.to_jsonable())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value)
+                for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def _emit_json(payload: Any) -> None:
+    print(json.dumps(to_jsonable(payload), indent=2, allow_nan=False))
 
 
 def _cmd_fig5(args) -> int:
-    from repro.bench.fig5 import fig5_shape_holds, run_fig5
+    from repro.bench.fig5 import fig5_shape_report, run_fig5
     from repro.bench.harness import render_table
     points = run_fig5(node_counts=tuple(args.nodes), rounds=args.rounds)
+    report = fig5_shape_report(points)
+    if args.json:
+        _emit_json({"command": "fig5", "points": points,
+                    "shape": report})
+        return 0 if report.passed else 1
     rows = [[p.n_nodes, f"{p.latency.mean:.3f} s",
              f"{p.overhead.mean*1e6:.0f} us",
              f"{p.restart_latency.mean:.3f} s",
@@ -22,67 +61,85 @@ def _cmd_fig5(args) -> int:
     print(render_table(
         "Fig 5 — checkpoint latency / coordination overhead / restart",
         ["nodes", "latency", "overhead", "restart", "msgs"], rows))
-    shape = fig5_shape_holds(points)
-    print("shape checks:", shape)
-    return 0 if all(shape.values()) else 1
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_fig6(args) -> int:
-    from repro.bench.fig6 import fig6_shape_holds, run_fig6
+    from repro.bench.fig6 import fig6_shape_report, run_fig6
     result = run_fig6()
+    report = fig6_shape_report(result)
+    if args.json:
+        _emit_json({"command": "fig6", "result": result,
+                    "shape": report})
+        return 0 if report.passed else 1
     print(f"steady rate        : "
           f"{result.pre_checkpoint_rate_bps/1e6:.1f} Mb/s")
     print(f"checkpoint duration: "
           f"{result.checkpoint_duration_s*1000:.1f} ms")
     print(f"drain pulse at     : {result.pulse_time_s*1000:.1f} ms")
     print(f"recovery at        : {result.recovery_time_s*1000:.1f} ms")
-    shape = fig6_shape_holds(result)
-    print("shape checks:", shape)
-    return 0 if all(shape.values()) else 1
+    print(f"retransmissions    : {len(result.retransmit_times_s)}")
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_messages(args) -> int:
     from repro.bench.harness import render_table
-    from repro.bench.messages import messages_shape_holds, run_messages
+    from repro.bench.messages import messages_shape_report, run_messages
     points = run_messages(node_counts=tuple(args.nodes))
+    report = messages_shape_report(points)
+    if args.json:
+        _emit_json({"command": "messages", "points": points,
+                    "shape": report})
+        return 0 if report.passed else 1
     rows = [[p.n_nodes, p.cruz_messages, p.flush_messages,
              f"{p.cruz_latency_s*1000:.2f} ms",
              f"{p.flush_latency_s*1000:.2f} ms"] for p in points]
     print(render_table("Message complexity — Cruz O(N) vs flush O(N^2)",
                        ["nodes", "cruz", "flush", "cruz lat",
                         "flush lat"], rows))
-    shape = messages_shape_holds(points)
-    print("shape checks:", shape)
-    return 0 if all(shape.values()) else 1
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_overhead(args) -> int:
-    from repro.bench.overhead import overhead_shape_holds, run_overhead
+    from repro.bench.overhead import overhead_shape_report, run_overhead
     result = run_overhead()
+    report = overhead_shape_report(result)
+    if args.json:
+        _emit_json({"command": "overhead", "result": result,
+                    "overhead_fraction": result.overhead_fraction,
+                    "shape": report})
+        return 0 if report.passed else 1
     print(f"bare runtime : {result.bare_runtime_s:.4f} s")
     print(f"pod runtime  : {result.pod_runtime_s:.4f} s")
     print(f"overhead     : {result.overhead_fraction*100:.4f} % "
           f"(paper: < 0.5 %)")
-    shape = overhead_shape_holds(result)
-    return 0 if all(shape.values()) else 1
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_fig4(args) -> int:
     from repro.bench.harness import render_table
     from repro.bench.optimization import (
-        optimization_shape_holds,
+        optimization_shape_report,
         run_optimization,
     )
     result = run_optimization()
+    report = optimization_shape_report(result)
+    if args.json:
+        _emit_json({"command": "fig4", "result": result,
+                    "shape": report})
+        return 0 if report.passed else 1
     pods = sorted(result.blocking_pause_s)
     rows = [[pod, f"{result.blocking_pause_s[pod]*1000:.0f} ms",
              f"{result.optimized_pause_s[pod]*1000:.0f} ms"]
             for pod in pods]
     print(render_table("Fig 4 — per-pod pause, blocking vs optimised",
                        ["pod", "blocking", "optimised"], rows))
-    shape = optimization_shape_holds(result)
-    print("shape checks:", shape)
-    return 0 if all(shape.values()) else 1
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_demo(args) -> int:
@@ -98,17 +155,23 @@ def _cmd_demo(args) -> int:
     client = cluster.coordinator_node.spawn(
         KvClient(str(pod.ip), requests, think_time_s=0.005))
     cluster.run_for(0.2)
-    print("## processes on node0")
-    print(format_table(ps(cluster.nodes[0])))
-    print("\n## connections on node0")
-    print(format_table(netstat(cluster.nodes[0])))
-    print(f"\nmigrating pod {pod.name!r} to node1 mid-conversation...")
+    if not args.json:
+        print("## processes on node0")
+        print(format_table(ps(cluster.nodes[0])))
+        print("\n## connections on node0")
+        print(format_table(netstat(cluster.nodes[0])))
+        print(f"\nmigrating pod {pod.name!r} to node1 mid-conversation...")
     cluster.migrate_pod(pod, target_node_index=1)
     cluster.run_until(lambda: not client.is_alive, limit=60, step=0.1)
-    print("\n## pods after migration")
-    print(format_table(pod_report(cluster)))
     ok = client.exit_code == 0 and \
         all(r["ok"] for r in client.program.responses)
+    if args.json:
+        _emit_json({"command": "demo", "ok": ok,
+                    "responses": len(client.program.responses),
+                    "pods": pod_report(cluster)})
+        return 0 if ok else 1
+    print("\n## pods after migration")
+    print(format_table(pod_report(cluster)))
     print(f"\nclient finished {len(client.program.responses)} requests: "
           f"{'all OK — migration was transparent' if ok else 'FAILED'}")
     return 0 if ok else 1
@@ -117,9 +180,74 @@ def _cmd_demo(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import regression
     if args.save:
-        return regression.save_baseline(args.baseline)
-    return regression.check_regression(args.baseline,
-                                       tolerance=args.tolerance)
+        status = regression.save_baseline(args.baseline)
+    else:
+        status = regression.check_regression(args.baseline,
+                                             tolerance=args.tolerance)
+    if args.json:
+        _emit_json({"command": "bench", "baseline": args.baseline,
+                    "ok": status == 0, "exit_status": status})
+    return status
+
+
+def _cmd_trace(args) -> int:
+    """Run a checkpoint workload and export its span timeline."""
+    from repro.apps.slm import slm_factory
+    from repro.bench.harness import render_table
+    from repro.cruz.cluster import CruzCluster
+    from repro.sim.spans import round_coverage
+    from repro.tools import format_table, round_report
+
+    n_nodes = args.nodes
+    cluster = CruzCluster(n_nodes, trace_enabled=True)
+    app = cluster.launch_app_factory(
+        "slm", n_nodes,
+        slm_factory(n_nodes, global_rows=8 * n_nodes, cols=32,
+                    steps=100000, total_work_s=1e6,
+                    memory_mb_per_rank=args.memory_mb))
+    cluster.run_for(0.5)
+    rounds = []
+    for _ in range(args.rounds):
+        cluster.run_for(args.interval)
+        rounds.append(cluster.checkpoint_app(app))
+    spans = cluster.spans
+    coverages = [round_coverage(spans, stats.epoch) for stats in rounds]
+
+    if args.format == "chrome":
+        text = json.dumps(spans.to_chrome())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {len(spans.spans)} spans to {args.out}",
+                  file=sys.stderr)
+        else:
+            # Pure JSON on stdout so it can be piped straight into a
+            # parser (the CI smoke job does exactly that).
+            print(text)
+        return 0 if min(coverages) >= 0.95 else 1
+
+    if args.json:
+        _emit_json({
+            "command": "trace",
+            "rounds": rounds,
+            "coverage": coverages,
+            "summary": spans.summary_rows(),
+            "metrics": cluster.metrics.snapshot(),
+        })
+        return 0 if min(coverages) >= 0.95 else 1
+
+    rows = [[r["span"], r["count"], f"{r['total_s']*1000:.2f} ms",
+             f"{r['mean_s']*1000:.2f} ms", f"{r['max_s']*1000:.2f} ms"]
+            for r in spans.summary_rows()]
+    print(render_table(f"Span summary — {args.rounds} round(s) on "
+                       f"{n_nodes} nodes",
+                       ["span", "count", "total", "mean", "max"], rows))
+    print()
+    print(format_table(round_report(rounds)))
+    for stats, coverage in zip(rounds, coverages):
+        print(f"epoch {stats.epoch}: spans cover {coverage*100:.1f}% "
+              f"of the round's latency window")
+    return 0 if min(coverages) >= 0.95 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,35 +255,62 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Cruz (DSN 2005) reproduction — demos and "
                     "experiment harnesses")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--json", action="store_true",
+                        help="emit the result as JSON on stdout")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="narrated live-migration demo")
+    demo = sub.add_parser("demo", parents=[common],
+                          help="narrated live-migration demo")
     demo.set_defaults(fn=_cmd_demo)
 
-    fig5 = sub.add_parser("fig5", help="checkpoint latency/overhead")
+    fig5 = sub.add_parser("fig5", parents=[common],
+                          help="checkpoint latency/overhead")
     fig5.add_argument("--nodes", type=int, nargs="+",
                       default=[2, 4, 6, 8])
     fig5.add_argument("--rounds", type=int, default=5)
     fig5.set_defaults(fn=_cmd_fig5)
 
-    fig6 = sub.add_parser("fig6", help="TCP stream through a checkpoint")
+    fig6 = sub.add_parser("fig6", parents=[common],
+                          help="TCP stream through a checkpoint")
     fig6.set_defaults(fn=_cmd_fig6)
 
-    messages = sub.add_parser("messages",
+    messages = sub.add_parser("messages", parents=[common],
                               help="Cruz vs flush message complexity")
     messages.add_argument("--nodes", type=int, nargs="+",
                           default=[2, 4, 8, 16])
     messages.set_defaults(fn=_cmd_messages)
 
-    overhead = sub.add_parser("overhead",
+    overhead = sub.add_parser("overhead", parents=[common],
                               help="virtualisation runtime overhead")
     overhead.set_defaults(fn=_cmd_overhead)
 
-    fig4 = sub.add_parser("fig4", help="early-resume optimisation")
+    fig4 = sub.add_parser("fig4", parents=[common],
+                          help="early-resume optimisation")
     fig4.set_defaults(fn=_cmd_fig4)
 
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="run a checkpoint round and export its span timeline")
+    trace.add_argument("--nodes", type=int, default=4,
+                       help="cluster size (default 4)")
+    trace.add_argument("--rounds", type=int, default=1,
+                       help="checkpoint rounds to record (default 1)")
+    trace.add_argument("--interval", type=float, default=0.5,
+                       help="seconds of app time between rounds")
+    trace.add_argument("--memory-mb", type=float, default=20.0,
+                       help="per-rank state size in MB (default 20)")
+    trace.add_argument("--format", choices=["chrome", "summary"],
+                       default="summary",
+                       help="chrome trace_event JSON or a flat summary")
+    trace.add_argument("--out", default="",
+                       help="write chrome JSON to this file instead of "
+                            "stdout")
+    trace.set_defaults(fn=_cmd_trace)
+
     bench = sub.add_parser(
-        "bench", help="Fig. 5 benchmark wall-clock regression guard")
+        "bench", parents=[common],
+        help="Fig. 5 benchmark wall-clock regression guard")
     bench.add_argument("--save", action="store_true",
                        help="record a new baseline instead of comparing")
     bench.add_argument("--compare", action="store_true",

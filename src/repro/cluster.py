@@ -46,6 +46,7 @@ class Cluster:
         self.sim = Simulator()
         self.random = RandomStreams(seed)
         self.trace = Trace(enabled=trace_enabled)
+        self.trace.attach_clock(lambda: self.sim.now)
         self.fs = SharedFileSystem()
         self.costs = costs
         self.subnet = Subnet(Ipv4Address.parse("10.1.0.0"), 16)
@@ -126,12 +127,28 @@ class Cluster:
 
     def run_until(self, predicate: Callable[[], bool],
                   limit: float = 1e6, step: float = 0.01) -> None:
-        """Advance time until ``predicate()`` holds (checked every step)."""
+        """Advance time until ``predicate()`` holds.
+
+        Event-aware: the predicate is re-checked after each simulator
+        event batch (all events sharing a timestamp), so the wait returns
+        at the exact event time that made it true instead of at the next
+        fixed-step boundary. ``step`` is only the fallback stride when
+        the event queue is empty and only wall-clock progress (pure time
+        predicates) can change the answer.
+        """
         while not predicate():
             if self.sim.now > limit:
                 raise TimeoutError("run_until limit exceeded")
-            target = min(self.sim.now + step, limit + step)
+            upcoming = self.sim.peek()
+            if upcoming == float("inf"):
+                target = min(self.sim.now + step, limit + step)
+            else:
+                target = min(upcoming, limit + step)
             self.sim.run(until=target)
+
+    def run_until_complete(self, process, limit: float = 1e6):
+        """Drive one simulation process to completion; returns its value."""
+        return self.sim.run_until_complete(process, limit=limit)
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -210,6 +210,9 @@ class CheckpointAgent:
             self.store.rounds.log_abort(
                 state["epoch"], reason="coordinator silent",
                 source=self.node.name, at=sim.now)
+            self.node.trace.spans.instant(
+                "agent.abort", node=self.node.name,
+                epoch=state["epoch"], reason="coordinator silent")
             self.node.trace.emit(
                 sim.now, "agent_abort", node=self.node.name,
                 reason="coordinator silent")
@@ -232,6 +235,9 @@ class CheckpointAgent:
             kind=protocol.ABORT, epoch=message.epoch, pod_name=pod.name,
             node_name=self.node.name, reason=reason))
         pod.continue_all()
+        self.node.trace.spans.instant(
+            "agent.abort", node=self.node.name, epoch=message.epoch,
+            reason=reason)
         self.node.trace.emit(self.node.sim.now, "agent_abort",
                              node=self.node.name, reason=reason)
         self._complete_round(message.epoch)
@@ -250,18 +256,32 @@ class CheckpointAgent:
             return
         state = self._round_state(message.epoch)
         started = sim.now
+        # Pause/local spans open at the exact ``started`` instant (no
+        # yields in between) so span durations reproduce the float
+        # subtractions reported in DONE bit-for-bit. ``agent.pod_pause``
+        # ends at the pod_resumed emit; ``agent.local`` at the instant
+        # ``local_checkpoint_s`` is measured.
+        spans = self.node.trace.spans
+        pause_span = spans.begin("agent.pod_pause", node=self.node.name,
+                                 pod=pod.name, epoch=message.epoch)
+        local_span = spans.begin("agent.local", node=self.node.name,
+                                 pod=pod.name, epoch=message.epoch,
+                                 op="checkpoint")
         self.node.trace.emit(sim.now, "pod_paused", node=self.node.name,
                              pod=pod.name, epoch=message.epoch)
         # Step 1: silently drop all traffic to/from the local pod.
         rule_id = self.node.stack.netfilter.drop_all_for(pod.ip)
         try:
-            yield sim.timeout(costs.netfilter_update)
+            with spans.span("agent.filter_install", node=self.node.name,
+                            pod=pod.name):
+                yield sim.timeout(costs.netfilter_update)
             if message.optimized:
                 self._send(coordinator_ip, ControlMessage(
                     kind=protocol.COMM_DISABLED, epoch=message.epoch,
                     pod_name=pod.name, node_name=self.node.name))
                 yield from self._optimized_checkpoint(
-                    message, coordinator_ip, pod, state, rule_id, started)
+                    message, coordinator_ip, pod, state, rule_id, started,
+                    pause_span, local_span)
                 return
             # Step 2: stop the pod and take the local checkpoint. With the
             # copy-on-write option the pod resumes computing (still behind
@@ -273,11 +293,14 @@ class CheckpointAgent:
                     dedup=message.dedup,
                     concurrent=message.concurrent)
             except Exception as error:  # noqa: BLE001 - engine failure
+                spans.end(local_span)
+                spans.end(pause_span)
                 self._abort_failed_save(message, coordinator_ip, pod,
                                         error)
                 return
             version = image.version
             local_checkpoint_s = sim.now - started
+            spans.end(local_span)
             # Step 3: report done; Step 4: wait for <continue>.
             self._send(coordinator_ip, ControlMessage(
                 kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
@@ -285,7 +308,9 @@ class CheckpointAgent:
                 local_checkpoint_s=local_checkpoint_s,
                 new_chunk_bytes=image.written_bytes,
                 total_chunk_bytes=image.total_chunk_bytes))
-            yield from self._await_continue(state)
+            with spans.span("agent.wait_continue", node=self.node.name,
+                            pod=pod.name):
+                yield from self._await_continue(state)
             # Steps 5-7: resume, re-enable communication, report.
             resume_started = sim.now
             if not message.concurrent:
@@ -293,8 +318,14 @@ class CheckpointAgent:
             self.node.trace.emit(sim.now, "pod_resumed",
                                  node=self.node.name,
                                  pod=pod.name, epoch=message.epoch)
-            self.node.stack.netfilter.remove_rule(rule_id)
-            yield sim.timeout(costs.netfilter_update)
+            spans.end(pause_span)
+            resume_span = spans.begin("agent.resume", node=self.node.name,
+                                      pod=pod.name, epoch=message.epoch)
+            with spans.span("agent.filter_remove", node=self.node.name,
+                            pod=pod.name):
+                self.node.stack.netfilter.remove_rule(rule_id)
+                yield sim.timeout(costs.netfilter_update)
+            spans.end(resume_span)
             if state["aborted"]:
                 # Undo: the round never committed; drop the half-round
                 # image.
@@ -310,13 +341,17 @@ class CheckpointAgent:
         finally:
             # Whatever went wrong above (engine failure, abort raced with
             # the save, ...) the pod must never stay filtered: remove the
-            # rule if a happy path did not already.
+            # rule if a happy path did not already. Likewise no span may
+            # stay open across rounds (end is idempotent and closes any
+            # open descendants).
             self.node.stack.netfilter.remove_rule(rule_id)
+            spans.end(pause_span)
 
     def _optimized_checkpoint(self, message: ControlMessage,
                               coordinator_ip: Ipv4Address, pod: Pod,
                               state: Dict, rule_id: int,
-                              started: float) -> Generator:
+                              started: float, pause_span,
+                              local_span) -> Generator:
         """The Fig. 4 flow, with the §5.2 refinements layered in.
 
         The local save runs concurrently with waiting for <continue>
@@ -330,6 +365,7 @@ class CheckpointAgent:
         the netfilter rule is removed on every exit path.
         """
         sim, costs = self.node.sim, self.node.costs
+        spans = self.node.trace.spans
         captured = sim.event(f"captured({message.epoch})")
         save_task = sim.process(
             self.checkpoint_engine.checkpoint(
@@ -338,7 +374,14 @@ class CheckpointAgent:
                 on_captured=lambda: captured.succeed()
                 if not captured.triggered else None),
             name=f"save({pod.name})")
+        # The wait overlaps the concurrent save on this node, so it stays
+        # off the ambient stack (attach=False): the engine's zap.* spans
+        # must nest under agent.local, not under the wait.
+        wait_span = spans.begin("agent.wait_continue",
+                                node=self.node.name, pod=pod.name,
+                                attach=False, parent=local_span)
         yield from self._await_continue(state)
+        spans.end(wait_span)
         try:
             if not captured.triggered:
                 # Waiting on `captured` alone would block this round
@@ -348,22 +391,35 @@ class CheckpointAgent:
                 yield sim.any_of([captured, save_task])
             removed_early = False
             if message.early_network and not state["aborted"]:
-                self.node.stack.netfilter.remove_rule(rule_id)
-                yield sim.timeout(costs.netfilter_update)
+                with spans.span("agent.filter_remove",
+                                node=self.node.name, pod=pod.name,
+                                attach=False, parent=local_span,
+                                early=True):
+                    self.node.stack.netfilter.remove_rule(rule_id)
+                    yield sim.timeout(costs.netfilter_update)
                 removed_early = True
             image = yield save_task
         except Exception as error:  # noqa: BLE001 - engine failure
+            spans.end(local_span)
+            spans.end(pause_span)
             self._abort_failed_save(message, coordinator_ip, pod, error)
             return
         version = image.version
         local_checkpoint_s = sim.now - started
+        spans.end(local_span)
         resume_started = sim.now
         pod.continue_all()
         self.node.trace.emit(sim.now, "pod_resumed", node=self.node.name,
                              pod=pod.name, epoch=message.epoch)
+        spans.end(pause_span)
+        resume_span = spans.begin("agent.resume", node=self.node.name,
+                                  pod=pod.name, epoch=message.epoch)
         if not removed_early:
-            self.node.stack.netfilter.remove_rule(rule_id)
-            yield sim.timeout(costs.netfilter_update)
+            with spans.span("agent.filter_remove", node=self.node.name,
+                            pod=pod.name):
+                self.node.stack.netfilter.remove_rule(rule_id)
+                yield sim.timeout(costs.netfilter_update)
+        spans.end(resume_span)
         if state["aborted"]:
             self.store.discard(pod.name, version)
             self._complete_round(message.epoch)
@@ -387,21 +443,30 @@ class CheckpointAgent:
         sim, costs = self.node.sim, self.node.costs
         state = self._round_state(message.epoch)
         started = sim.now
+        spans = self.node.trace.spans
+        local_span = spans.begin("agent.local", node=self.node.name,
+                                 pod=message.pod_name,
+                                 epoch=message.epoch, op="restart")
         image = self.store.load(message.pod_name,
                                 message.version or None)
         # Communications must be disabled *before* any state is restored:
         # restored TCP would otherwise transmit before its peers exist (§5).
         rule_id = self.node.stack.netfilter.drop_all_for(image.ip)
         try:
-            yield sim.timeout(costs.netfilter_update)
+            with spans.span("agent.filter_install", node=self.node.name,
+                            pod=message.pod_name):
+                yield sim.timeout(costs.netfilter_update)
             pod = yield from self.restart_engine.restart(
                 image, self.node, resume=False)
             self.register_pod(pod)
+            spans.end(local_span)
             self._send(coordinator_ip, ControlMessage(
                 kind=protocol.DONE, epoch=message.epoch, pod_name=pod.name,
                 node_name=self.node.name,
                 local_checkpoint_s=sim.now - started))
-            yield from self._await_continue(state)
+            with spans.span("agent.wait_continue", node=self.node.name,
+                            pod=pod.name, epoch=message.epoch):
+                yield from self._await_continue(state)
             resume_started = sim.now
             if state["aborted"]:
                 scrub_pod_network(pod)
@@ -412,8 +477,13 @@ class CheckpointAgent:
                 self._complete_round(message.epoch)
                 return
             self.restart_engine.resume(pod, image)
-            self.node.stack.netfilter.remove_rule(rule_id)
-            yield sim.timeout(costs.netfilter_update)
+            resume_span = spans.begin("agent.resume", node=self.node.name,
+                                      pod=pod.name, epoch=message.epoch)
+            with spans.span("agent.filter_remove", node=self.node.name,
+                            pod=pod.name):
+                self.node.stack.netfilter.remove_rule(rule_id)
+                yield sim.timeout(costs.netfilter_update)
+            spans.end(resume_span)
             self._send(coordinator_ip, ControlMessage(
                 kind=protocol.CONTINUE_DONE, epoch=message.epoch,
                 pod_name=pod.name, node_name=self.node.name,
@@ -421,6 +491,7 @@ class CheckpointAgent:
             self._complete_round(message.epoch)
         finally:
             self.node.stack.netfilter.remove_rule(rule_id)
+            spans.end(local_span)
 
     def local_checkpoint(self, pod: Pod, resume: bool = True,
                          incremental: bool = False,

@@ -49,7 +49,7 @@ class CruzCluster(Cluster):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
         self.codec = codec if codec is not None else CruzSocketCodec()
-        self.store = ImageStore(self.fs)
+        self.store = ImageStore(self.fs, metrics=self.trace.metrics)
         #: Every control datagram (agents and coordinator, ACKs included)
         #: passes through one seeded fault injector; with no plans added
         #: it is a transparent pass-through.
@@ -181,7 +181,7 @@ class CruzCluster(Cluster):
             app, optimized=optimized, incremental=incremental,
             dedup=dedup,
             early_network=early_network, concurrent=concurrent))
-        return self.sim.run_until_complete(task, limit=limit)
+        return self.run_until_complete(task, limit=limit)
 
     def crash_app(self, app: DistributedApp) -> None:
         """Destroy the app's pods in place (simulating node failures).
@@ -213,7 +213,7 @@ class CruzCluster(Cluster):
                        for idx, pod in zip(node_indices, app.pods)]
         task = self.sim.process(self.coordinator.restart(
             app.name, members, version=version))
-        stats = self.sim.run_until_complete(task, limit=limit)
+        stats = self.run_until_complete(task, limit=limit)
         # Re-point the app at the recreated pods.
         new_pods = []
         for _ip, pod_name in members:
@@ -255,7 +255,7 @@ class CruzCluster(Cluster):
             return restored
 
         task = self.sim.process(sequence(), name=f"migrate({pod.name})")
-        new_pod = self.sim.run_until_complete(task, limit=limit)
+        new_pod = self.run_until_complete(task, limit=limit)
         for app in self.apps.values():
             app.pods = [new_pod if p.name == new_pod.name else p
                         for p in app.pods]
@@ -279,3 +279,13 @@ class CruzCluster(Cluster):
 
     def coordination_message_count(self) -> int:
         return self.trace.count("coord_msg")
+
+    @property
+    def spans(self):
+        """The cluster-wide span recorder (``trace.spans``)."""
+        return self.trace.spans
+
+    @property
+    def metrics(self):
+        """The cluster-wide typed metrics registry (``trace.metrics``)."""
+        return self.trace.metrics

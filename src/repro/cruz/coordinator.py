@@ -44,6 +44,7 @@ from repro.cruz.protocol import (
 from repro.cruz.storage import ImageStore
 from repro.errors import CoordinationError
 from repro.net.addresses import Ipv4Address
+from repro.sim.spans import round_phases
 from repro.simos.kernel import Node
 from repro.zap.pod import Pod
 
@@ -239,6 +240,12 @@ class CheckpointCoordinator:
         expected_pods = {pod_name for _ip, pod_name in members}
         stats = RoundStats(epoch=epoch, kind=kind, n_nodes=len(members),
                            started_at=sim.now)
+        # Root span of the round's timeline; opened at the exact instant
+        # ``started_at`` is captured (no yields in between) so span-derived
+        # latencies equal the RoundStats float subtractions bit-for-bit.
+        spans = self.node.trace.spans
+        round_span = spans.begin("round", node=self.node.name,
+                                 epoch=epoch, kind=kind)
         if self.wal is not None:
             self.wal.log_start(epoch, kind, members, at=sim.now,
                                coordinator=self.node.name)
@@ -253,43 +260,60 @@ class CheckpointCoordinator:
 
         try:
             # Step 1: notify every Agent.
-            for agent_ip, pod_name in members:
-                yield sim.timeout(costs.coordinator_message_handling)
-                self._send(agent_ip, ControlMessage(
-                    kind=kind, epoch=epoch, pod_name=pod_name,
-                    optimized=optimized, incremental=incremental,
-                    dedup=dedup,
-                    version=version, early_network=early_network,
-                    concurrent=concurrent), fail_round=True)
-                stats.messages_sent += 1
+            with spans.span("coord.request", node=self.node.name,
+                            epoch=epoch):
+                for agent_ip, pod_name in members:
+                    yield sim.timeout(costs.coordinator_message_handling)
+                    self._send(agent_ip, ControlMessage(
+                        kind=kind, epoch=epoch, pod_name=pod_name,
+                        optimized=optimized, incremental=incremental,
+                        dedup=dedup,
+                        version=version, early_network=early_network,
+                        concurrent=concurrent), fail_round=True)
+                    stats.messages_sent += 1
             if optimized:
                 # Fig. 4: continue as soon as communication is disabled
                 # everywhere; agents resume independently after their save.
-                yield from self._collect(disabled_event, stats)
-                for agent_ip, _pod in members:
-                    yield sim.timeout(costs.coordinator_message_handling)
-                    self._send(agent_ip, ControlMessage(
-                        kind=protocol.CONTINUE, epoch=epoch),
-                        fail_round=True)
-                    stats.messages_sent += 1
-                dones = yield from self._collect(done_event, stats)
+                with spans.span("coord.wait_comm_disabled",
+                                node=self.node.name, epoch=epoch):
+                    yield from self._collect(disabled_event, stats)
+                with spans.span("coord.continue", node=self.node.name,
+                                epoch=epoch):
+                    for agent_ip, _pod in members:
+                        yield sim.timeout(
+                            costs.coordinator_message_handling)
+                        self._send(agent_ip, ControlMessage(
+                            kind=protocol.CONTINUE, epoch=epoch),
+                            fail_round=True)
+                        stats.messages_sent += 1
+                with spans.span("coord.wait_done", node=self.node.name,
+                                epoch=epoch):
+                    dones = yield from self._collect(done_event, stats)
                 stats.latency_s = sim.now - stats.started_at
                 stats.total_s = stats.latency_s
                 self._fill_local_ops(stats, dones.values())
             else:
                 # Step 2: wait for all <done>.
-                dones = yield from self._collect(done_event, stats)
+                with spans.span("coord.wait_done", node=self.node.name,
+                                epoch=epoch):
+                    dones = yield from self._collect(done_event, stats)
                 stats.latency_s = sim.now - stats.started_at
                 self._fill_local_ops(stats, dones.values())
                 # Step 3: allow everyone to resume.
-                for agent_ip, _pod in members:
-                    yield sim.timeout(costs.coordinator_message_handling)
-                    self._send(agent_ip, ControlMessage(
-                        kind=protocol.CONTINUE, epoch=epoch),
-                        fail_round=True)
-                    stats.messages_sent += 1
+                with spans.span("coord.continue", node=self.node.name,
+                                epoch=epoch):
+                    for agent_ip, _pod in members:
+                        yield sim.timeout(
+                            costs.coordinator_message_handling)
+                        self._send(agent_ip, ControlMessage(
+                            kind=protocol.CONTINUE, epoch=epoch),
+                            fail_round=True)
+                        stats.messages_sent += 1
                 # Step 4: wait for all <continue-done>.
-                final = yield from self._collect(continue_done_event, stats)
+                with spans.span("coord.wait_continue_done",
+                                node=self.node.name, epoch=epoch):
+                    final = yield from self._collect(
+                        continue_done_event, stats)
                 stats.total_s = sim.now - stats.started_at
                 stats.max_local_continue_s = max(
                     (m.local_continue_s for m in final.values()),
@@ -297,20 +321,24 @@ class CheckpointCoordinator:
             # Verified two-phase-commit outcome: the commit only stands
             # if no agent (or recovering coordinator) aborted this epoch
             # first — first WAL record wins.
-            if self.wal is not None:
-                outcome = self.wal.decide(epoch, self.wal.COMMIT,
-                                          source=self.node.name,
-                                          at=sim.now)
-                if outcome != self.wal.COMMIT:
-                    record = self.wal.abort_record(epoch) or {}
-                    raise CoordinationError(
-                        f"round {epoch}: aborted by "
-                        f"{record.get('source', 'unknown')} "
-                        f"({record.get('reason', 'no reason')}) "
-                        "before commit")
+            with spans.span("coord.commit", node=self.node.name,
+                            epoch=epoch):
+                if self.wal is not None:
+                    outcome = self.wal.decide(epoch, self.wal.COMMIT,
+                                              source=self.node.name,
+                                              at=sim.now)
+                    if outcome != self.wal.COMMIT:
+                        record = self.wal.abort_record(epoch) or {}
+                        raise CoordinationError(
+                            f"round {epoch}: aborted by "
+                            f"{record.get('source', 'unknown')} "
+                            f"({record.get('reason', 'no reason')}) "
+                            "before commit")
             stats.committed = True
         except CoordinationError as error:
             stats.aborted = True
+            spans.instant("coord.abort", node=self.node.name,
+                          epoch=epoch, reason=str(error))
             if self.wal is not None:
                 self.wal.decide(epoch, self.wal.ABORT, reason=str(error),
                                 source=self.node.name, at=sim.now)
@@ -324,6 +352,8 @@ class CheckpointCoordinator:
                     continue  # abort broadcast is best effort
             raise
         finally:
+            spans.end(round_span, committed=stats.committed)
+            stats.phase_s = round_phases(spans, epoch)
             stats.retransmissions = self.endpoint.retransmissions_for(epoch)
             stats.duplicates = self.endpoint.duplicates_for(epoch)
             self.rounds.append(stats)

@@ -121,6 +121,11 @@ class RoundStats:
     #: round, and of total chunk bytes the round's images reference.
     new_chunk_bytes: int = 0
     total_chunk_bytes: int = 0
+    #: Per-phase breakdown (span name -> seconds) derived from the span
+    #: recorder: ``coord.*`` phases summed, agent/zap phases max-over-nodes
+    #: (see :func:`repro.sim.spans.round_phases`). Empty when tracing is
+    #: disabled.
+    phase_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def coordination_overhead_s(self) -> float:

@@ -316,7 +316,8 @@ class SavePlan:
 class ImageStore:
     """Versioned, chunk-deduplicated checkpoint images in the shared FS."""
 
-    def __init__(self, fs: SharedFileSystem, root: str = "/checkpoints"):
+    def __init__(self, fs: SharedFileSystem, root: str = "/checkpoints",
+                 metrics=None):
         self.fs = fs
         self.root = root
         self.chunks = ChunkStore(fs, root=f"{root}/.chunks")
@@ -325,6 +326,10 @@ class ImageStore:
         self._latest: Dict[str, int] = {}
         self._attached = False
         self.last_plan: Optional[SavePlan] = None
+        #: Optional :class:`repro.sim.spans.MetricsRegistry` — each save
+        #: mirrors the chunk byte-movement into typed counters
+        #: (``store.bytes_written`` etc.) labelled by save mode.
+        self.metrics = metrics
 
     # -- paths and the persistent index -----------------------------------
 
@@ -520,6 +525,9 @@ class ImageStore:
         self._ensure_attached()
         if plan is None:
             plan = self.plan(image, mode=mode)
+        chunks_before = self.chunks.chunks_written
+        written_before = self.chunks.bytes_written
+        deduped_before = self.chunks.bytes_deduped
         try:
             version = self.latest_version(image.pod_name) + 1
         except CheckpointError:
@@ -542,6 +550,16 @@ class ImageStore:
         self.fs.write_at(path, 0, blob)
         self._latest[image.pod_name] = version
         self.last_plan = plan
+        if self.metrics is not None:
+            self.metrics.counter("store.saves").inc(label=mode)
+            self.metrics.counter("store.chunks_written").inc(
+                self.chunks.chunks_written - chunks_before, label=mode)
+            self.metrics.counter("store.bytes_written").inc(
+                self.chunks.bytes_written - written_before, label=mode)
+            self.metrics.counter("store.bytes_deduped").inc(
+                self.chunks.bytes_deduped - deduped_before, label=mode)
+            self.metrics.histogram("store.save_write_bytes").observe(
+                self.chunks.bytes_written - written_before)
         return version
 
     def load(self, pod_name: str,

@@ -12,19 +12,39 @@ from repro.sim.core import (
     URGENT,
 )
 from repro.sim.rand import RandomStreams
+from repro.sim.spans import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    Span,
+    SpanRecorder,
+    round_coverage,
+    round_phases,
+    union_coverage,
+)
 from repro.sim.trace import Trace, TraceRecord
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CounterMetric",
     "Event",
+    "GaugeMetric",
+    "HistogramMetric",
     "Interrupt",
+    "MetricsRegistry",
     "NORMAL",
     "RandomStreams",
     "SimProcess",
     "Simulator",
+    "Span",
+    "SpanRecorder",
     "Timeout",
     "Trace",
     "TraceRecord",
     "URGENT",
+    "round_coverage",
+    "round_phases",
+    "union_coverage",
 ]

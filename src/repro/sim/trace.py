@@ -1,13 +1,18 @@
-"""Structured event tracing and simple time-series metrics.
+"""Structured event tracing, spans, and typed metrics.
 
-The benchmark harnesses reconstruct the paper's figures from traces: e.g.
-Fig 6 is a sliding-window rate computed over ``bytes-delivered`` records.
+The benchmark harnesses reconstruct the paper's figures from telemetry:
+Fig 6 is a sliding-window rate computed over ``bytes-delivered`` records,
+while Fig 4/5 phase timings come from the span recorder (``Trace.spans``,
+see :mod:`repro.sim.spans`). Category counts are backed by the typed
+metrics registry (``Trace.metrics``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.spans import MetricsRegistry, SpanRecorder
 
 
 @dataclass(frozen=True)
@@ -21,22 +26,36 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only trace with category filters and windowed aggregation."""
+    """An append-only trace with category filters and windowed aggregation.
 
-    def __init__(self, enabled: bool = True):
+    A ``Trace`` is the per-cluster telemetry hub: flat records (this
+    class), nested spans (``self.spans``) and typed metrics
+    (``self.metrics``). ``enabled`` gates record/span *retention* only —
+    metric counts always accumulate, so message accounting works even in
+    traceless benchmark runs.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None):
         self.enabled = enabled
         self.records: List[TraceRecord] = []
-        self._counters: Dict[str, int] = {}
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder(clock=clock, enabled=enabled)
+        self._emits = self.metrics.counter("trace.emits")
+
+    def attach_clock(self, clock: Callable[[], float]) -> None:
+        """Bind span timestamps to a time source (the simulator clock)."""
+        self.spans.attach_clock(clock)
 
     def emit(self, time: float, category: str, node: str = "",
              **detail: Any) -> None:
-        self._counters[category] = self._counters.get(category, 0) + 1
+        self._emits.inc(label=category)
         if self.enabled:
             self.records.append(TraceRecord(time, category, node, detail))
 
     def count(self, category: str) -> int:
         """Total emissions of ``category`` (counted even when disabled)."""
-        return self._counters.get(category, 0)
+        return int(self._emits.labelled(category))
 
     def select(self, category: str,
                node: Optional[str] = None) -> Iterator[TraceRecord]:
@@ -77,7 +96,12 @@ class Trace:
 
 @dataclass
 class Counter:
-    """A labelled monotonic counter for protocol-message accounting."""
+    """A labelled monotonic counter for protocol-message accounting.
+
+    Deprecated: new code should use
+    :meth:`repro.sim.spans.MetricsRegistry.counter` via ``Trace.metrics``;
+    kept because existing call sites and tests construct it directly.
+    """
 
     name: str
     value: int = 0

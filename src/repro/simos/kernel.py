@@ -80,6 +80,9 @@ class Node:
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.stack = NetworkStack(sim, name, nic, time_wait_s=time_wait_s,
                                   iss_seed=iss_seed)
+        # TCP connections report retransmit/drain telemetry into the
+        # node's trace hub (spans + typed metrics).
+        self.stack.tcp.telemetry = self.trace
         self.ipc = IpcNamespace(sim)
         self.cpu = Resource(sim, cpus, name=f"{name}.cpu")
         self.processes: Dict[int, ProcessControlBlock] = {}

@@ -99,6 +99,13 @@ class TcpConnection:
         self.timeouts = 0
         self.fast_retransmits = 0
 
+        #: Cluster telemetry hub (a :class:`repro.sim.trace.Trace`) and
+        #: the owning node's name; set by :meth:`TcpStack.register` so
+        #: retransmit/drain events land in the span timeline and the
+        #: typed metrics registry. ``None`` outside a cluster.
+        self.telemetry = None
+        self.telemetry_node = ""
+
         if tcb.cwnd == 0:
             tcb.cwnd = 2 * options.mss
 
@@ -234,8 +241,29 @@ class TcpConnection:
         self.frozen = False
         if self.tcb.state == TcpState.CLOSED:
             return
+        pending = self.receive_buffer.available
+        if pending > 0:
+            # Bytes that queued up during the freeze drain to the
+            # application now — the post-checkpoint recovery pulse that
+            # Fig. 6 plots.
+            self._note("tcp.drains", instant="tcp.drain", nbytes=pending)
+            if self.telemetry is not None:
+                self.telemetry.metrics.histogram(
+                    "tcp.drain_bytes").observe(pending)
         self._arm_rtx_timer()
         self._output()
+
+    def _note(self, counter: str, instant: str = "", **attrs) -> None:
+        """Count into the cluster metrics registry (and optionally drop
+        an instant on the span timeline) when telemetry is wired."""
+        if self.telemetry is None:
+            return
+        self.telemetry.metrics.counter(counter).inc(
+            label=self.telemetry_node)
+        if instant:
+            self.telemetry.spans.instant(
+                instant, node=self.telemetry_node, conn=self.name,
+                **attrs)
 
     @classmethod
     def restore(cls, sim: Simulator, tcb: TransmissionControlBlock,
@@ -478,6 +506,7 @@ class TcpConnection:
             return
         # RFC 5681 timeout response: collapse to slow start and back off.
         self.timeouts += 1
+        self._note("tcp.timeouts")
         tcb.ssthresh = max(tcb.flight_size // 2, 2 * tcb.options.mss)
         tcb.cwnd = tcb.options.mss
         tcb.backoff()
@@ -492,6 +521,8 @@ class TcpConnection:
         segment.transmit_count += 1
         segment.last_sent_at = self.sim.now
         self.segments_retransmitted += 1
+        self._note("tcp.retransmits", instant="tcp.retransmit",
+                   seq=segment.seq, nbytes=len(segment.payload))
         self._emit(TcpFlags.ACK | TcpFlags.PSH, seq=segment.seq,
                    payload=segment.payload)
 
@@ -735,6 +766,7 @@ class TcpConnection:
         if oldest is None:
             return
         self.fast_retransmits += 1
+        self._note("tcp.fast_retransmits")
         tcb.ssthresh = max(tcb.flight_size // 2, 2 * tcb.options.mss)
         tcb.cwnd = tcb.ssthresh
         self._retransmit(oldest)

@@ -98,6 +98,9 @@ class TcpStack:
         self._iss = iss_seed * 100_000 + 1
         self.rst_sent = 0
         self.segments_received = 0
+        #: Cluster telemetry hub (``Node.trace``); propagated onto every
+        #: connection registered with this stack.
+        self.telemetry = None
 
     # -- helpers ----------------------------------------------------------
 
@@ -134,6 +137,9 @@ class TcpStack:
         if key in self.connections:
             raise TcpError(f"connection {key} already registered")
         self.connections[key] = connection
+        if self.telemetry is not None and connection.telemetry is None:
+            connection.telemetry = self.telemetry
+            connection.telemetry_node = self.name
         connection.on_teardown(self._forget)
 
     def _forget(self, connection: TcpConnection) -> None:

@@ -6,6 +6,7 @@ from repro.tools.inspect import (
     netstat,
     pod_report,
     ps,
+    round_report,
 )
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "netstat",
     "pod_report",
     "ps",
+    "round_report",
 ]

@@ -115,6 +115,31 @@ def checkpoint_report(store, pod_names: List[str]) -> List[Dict[str, Any]]:
     return rows
 
 
+def round_report(rounds) -> List[Dict[str, Any]]:
+    """Per-phase latency breakdown of coordination rounds.
+
+    One row per round, built from :class:`RoundStats.phase_s` (the span
+    timeline's critical-path view): total latency plus each phase's
+    share, in milliseconds.
+    """
+    phase_names: List[str] = []
+    for stats in rounds:
+        for name in stats.phase_s:
+            if name not in phase_names:
+                phase_names.append(name)
+    rows = []
+    for stats in rounds:
+        row: Dict[str, Any] = {
+            "epoch": stats.epoch,
+            "kind": stats.kind,
+            "latency_ms": round(stats.latency_s * 1000, 3),
+        }
+        for name in phase_names:
+            row[name] = round(stats.phase_s.get(name, 0.0) * 1000, 3)
+        rows.append(row)
+    return rows
+
+
 def format_table(rows: List[Dict[str, Any]],
                  columns: Optional[List[str]] = None) -> str:
     """Render dict-rows as an aligned text table."""

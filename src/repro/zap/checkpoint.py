@@ -72,12 +72,17 @@ class CheckpointEngine:
         """
         node = pod.node
         sim, costs = node.sim, node.costs
+        spans = node.trace.spans
         procs = pod.live_processes()
         pre_stopped = {p.pid for p in procs if p.stopped}
-        pod.stop_all()
-        if procs:
-            yield sim.timeout(costs.signal_delivery * len(procs))
+        with spans.span("zap.stop", node=node.name, pod=pod.name):
+            pod.stop_all()
+            if procs:
+                yield sim.timeout(costs.signal_delivery * len(procs))
         sockets = self._pod_sockets(pod)
+        netstate_span = spans.begin("zap.netstate_capture",
+                                    node=node.name, pod=pod.name,
+                                    sockets=len(sockets))
         for sock in sockets:
             if isinstance(sock, TcpSocket) and sock.connection is not None:
                 sock.connection.freeze()
@@ -92,6 +97,7 @@ class CheckpointEngine:
                 if isinstance(sock, TcpSocket) and \
                         sock.connection is not None:
                     sock.connection.unfreeze()
+            spans.end(netstate_span)
         if self.store is not None:
             mode = "incremental" if incremental \
                 else ("dedup" if dedup else "full")
@@ -103,22 +109,30 @@ class CheckpointEngine:
                 # Copy-out window: the pod must stay stopped only while
                 # its state is serialised; the disk write of process i
                 # overlaps the serialization of process i+1 (§5.2).
-                yield sim.timeout(serialize_s)
+                with spans.span("zap.serialize", node=node.name,
+                                pod=pod.name):
+                    yield sim.timeout(serialize_s)
             if on_captured is not None:
                 on_captured()
             if concurrent and resume:
                 pod.continue_all()
-            yield sim.timeout(costs.checkpoint_fixed
-                              + (pipeline_s - serialize_s))
-            image.version = self.store.save(image, mode=mode, plan=plan)
+            with spans.span("zap.store_write", node=node.name,
+                            pod=pod.name, mode=mode,
+                            write_bytes=plan.write_bytes):
+                yield sim.timeout(costs.checkpoint_fixed
+                                  + (pipeline_s - serialize_s))
+                image.version = self.store.save(image, mode=mode,
+                                                plan=plan)
         else:
             if on_captured is not None:
                 on_captured()
             if concurrent and resume:
                 pod.continue_all()
             write_bytes = image.written_bytes
-            yield sim.timeout(costs.checkpoint_fixed +
-                              write_bytes / costs.disk_write_bandwidth)
+            with spans.span("zap.image_write", node=node.name,
+                            pod=pod.name, write_bytes=write_bytes):
+                yield sim.timeout(costs.checkpoint_fixed +
+                                  write_bytes / costs.disk_write_bandwidth)
         node.trace.emit(sim.now, "checkpoint", node=node.name,
                         **image.summary())
         if resume and not concurrent:

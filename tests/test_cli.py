@@ -1,16 +1,19 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, to_jsonable
 
 
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("demo", "fig5", "fig6", "messages", "overhead",
-                    "fig4"):
+                    "fig4", "trace"):
         args = parser.parse_args([command])
         assert callable(args.fn)
+        assert args.json is False
 
 
 def test_cli_requires_a_command(capsys):
@@ -23,6 +26,9 @@ def test_cli_overhead_runs(capsys):
     out = capsys.readouterr().out
     assert "overhead" in out
     assert "< 0.5" in out
+    # The shape checks are printed, not just computed.
+    assert "overhead_below_half_percent" in out
+    assert "PASS" in out
 
 
 def test_cli_fig5_small_runs(capsys):
@@ -41,3 +47,85 @@ def test_cli_messages_small_runs(capsys):
     assert main(["messages", "--nodes", "2", "4"]) == 0
     out = capsys.readouterr().out
     assert "O(N)" in out
+
+
+def test_cli_trace_summary_reports_coverage(capsys):
+    assert main(["trace", "--nodes", "2", "--rounds", "1",
+                 "--interval", "0.2", "--memory-mb", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Span summary" in out
+    assert "agent.local" in out
+    assert "spans cover" in out
+
+
+def test_cli_trace_chrome_emits_parseable_json(capsys):
+    assert main(["trace", "--nodes", "2", "--rounds", "1",
+                 "--interval", "0.2", "--memory-mb", "4",
+                 "--format", "chrome"]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out)  # pure JSON on stdout, nothing else
+    events = doc["traceEvents"]
+    assert any(e.get("ph") == "X" and e["name"] == "round"
+               for e in events)
+    assert any(e.get("ph") == "M" for e in events)
+
+
+def test_cli_trace_chrome_writes_out_file(tmp_path, capsys):
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", "--nodes", "2", "--rounds", "1",
+                 "--interval", "0.2", "--memory-mb", "4",
+                 "--format", "chrome", "--out", str(out_file)]) == 0
+    assert capsys.readouterr().out == ""  # stdout stays clean
+    doc = json.loads(out_file.read_text())
+    assert doc["traceEvents"]
+
+
+def test_cli_trace_json_summary(capsys):
+    assert main(["trace", "--nodes", "2", "--rounds", "1",
+                 "--interval", "0.2", "--memory-mb", "4",
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "trace"
+    assert doc["coverage"][0] >= 0.95
+    assert doc["rounds"][0]["committed"] is True
+    assert "store.saves" in doc["metrics"]
+
+
+def test_cli_fig5_json_output(capsys):
+    assert main(["fig5", "--nodes", "2", "3", "--rounds", "2",
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "fig5"
+    assert doc["shape"]["passed"] is True
+    assert [p["n_nodes"] for p in doc["points"]] == [2, 3]
+    assert doc["points"][0]["latency"]["n"] == 2
+
+
+def test_cli_overhead_json_output(capsys):
+    assert main(["overhead", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "overhead"
+    assert doc["overhead_fraction"] < 0.005
+    checks = {c["name"]: c["ok"] for c in doc["shape"]["checks"]}
+    assert checks["overhead_below_half_percent"] is True
+
+
+def test_to_jsonable_handles_the_harness_types():
+    from repro.bench.harness import ShapeReport, Stat
+
+    report = ShapeReport("t")
+    report.check("c", True, value=1.5, expect="e")
+    nan_stat = Stat.of([])
+    payload = to_jsonable({
+        "stat": Stat.of([1.0, 3.0]),
+        "report": report,
+        "nan": nan_stat,
+        "seq": (1, "two", None),
+        "other": {1: {2.5}},
+    })
+    assert payload["stat"] == {"mean": 2.0, "std": 1.0, "n": 2}
+    assert payload["report"]["checks"][0]["name"] == "c"
+    assert payload["nan"]["mean"] is None  # NaN -> null, strict JSON
+    assert payload["seq"] == [1, "two", None]
+    assert payload["other"] == {"1": "{2.5}"}  # last-resort stringify
+    json.dumps(payload, allow_nan=False)

@@ -8,6 +8,7 @@ from repro.tools import (
     netstat,
     pod_report,
     ps,
+    round_report,
 )
 
 
@@ -77,3 +78,25 @@ def test_format_table_alignment_and_empty():
     assert len(lines) == 4
     assert lines[0].startswith("a")
     assert all(len(line) <= len(lines[0]) + 4 for line in lines)
+
+
+def test_round_report_breaks_latency_into_phases():
+    from repro.cruz.protocol import RoundStats
+
+    rounds = [
+        RoundStats(epoch=1, kind="CHECKPOINT", n_nodes=2, started_at=0.0,
+                   latency_s=0.5,
+                   phase_s={"coord.request": 0.0001,
+                            "agent.local": 0.49}),
+        RoundStats(epoch=2, kind="CHECKPOINT", n_nodes=2, started_at=1.0,
+                   latency_s=0.6,
+                   phase_s={"agent.local": 0.59, "zap.stop": 0.001}),
+    ]
+    rows = round_report(rounds)
+    assert [r["epoch"] for r in rows] == [1, 2]
+    assert rows[0]["latency_ms"] == 500.0
+    assert rows[0]["agent.local"] == 490.0
+    # Columns are the union of phases; absent phases read as zero.
+    assert rows[0]["zap.stop"] == 0.0
+    assert rows[1]["coord.request"] == 0.0
+    assert "zap.stop" in format_table(rows)
