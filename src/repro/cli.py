@@ -16,6 +16,13 @@ import math
 import sys
 from typing import Any, List, Optional
 
+#: One exit-code convention for the analysis commands (``lint``,
+#: ``sanitize``, ``analyze``, ``trace``): 0 = clean, 1 = violations or
+#: failed checks, 2 = usage error (argparse's own convention).
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
 
 def to_jsonable(obj: Any) -> Any:
     """Recursively convert harness results to JSON-serialisable data.
@@ -250,6 +257,66 @@ def _cmd_trace(args) -> int:
     return 0 if min(coverages) >= 0.95 else 1
 
 
+def _cmd_lint(args) -> int:
+    """Run the CruzSan determinism lint over the source tree."""
+    from repro.analysis.lint import RULES, lint_paths
+
+    violations = lint_paths(args.paths or None)
+    if args.json:
+        _emit_json({
+            "command": "lint",
+            "violations": [{
+                "path": v.path, "line": v.line, "col": v.col,
+                "code": v.code, "title": v.title, "hint": v.hint,
+            } for v in violations],
+            "rules": {code: {"title": title, "hint": hint}
+                      for code, (title, hint) in RULES.items()},
+        })
+        return EXIT_VIOLATIONS if violations else EXIT_OK
+    for violation in violations:
+        print(violation.render())
+    print(f"repro lint: {len(violations)} violation(s)")
+    return EXIT_VIOLATIONS if violations else EXIT_OK
+
+
+def _cmd_sanitize(args) -> int:
+    """Drive a named workload with the runtime sanitizer installed."""
+    from repro.analysis.sanitize import run_workload
+
+    cluster = run_workload(args.workload)
+    sanitizer = cluster.trace.sanitizer
+    if args.json:
+        _emit_json({
+            "command": "sanitize",
+            "workload": args.workload,
+            "violations": [dataclasses.asdict(v)
+                           for v in sanitizer.violations],
+        })
+        return EXIT_VIOLATIONS if sanitizer.violations else EXIT_OK
+    print(sanitizer.report())
+    return EXIT_VIOLATIONS if sanitizer.violations else EXIT_OK
+
+
+def _cmd_analyze(args) -> int:
+    """Schedule-race detection: run twice with perturbed tie-breaking."""
+    from repro.analysis.determinism import run_determinism_check
+
+    report = run_determinism_check(nodes=args.nodes, rounds=args.rounds)
+    if args.json:
+        _emit_json({
+            "command": "analyze",
+            "check": "determinism",
+            "deterministic": report.deterministic,
+            "divergences": report.divergences,
+            "state_hashes": {
+                policy: fp["state_hash"]
+                for policy, fp in report.fingerprints.items()},
+        })
+        return EXIT_OK if report.deterministic else EXIT_VIOLATIONS
+    print(report.render())
+    return EXIT_OK if report.deterministic else EXIT_VIOLATIONS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -320,6 +387,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.2,
                        help="allowed fractional slowdown (default 0.2)")
     bench.set_defaults(fn=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", parents=[common],
+        help="CruzSan determinism lint (CRZ001-CRZ006)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint "
+                           "(default: the repro source tree)")
+    lint.set_defaults(fn=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize", parents=[common],
+        help="run a workload under the runtime invariant sanitizer")
+    from repro.analysis.sanitize import WORKLOADS
+    sanitize.add_argument("workload", choices=sorted(WORKLOADS),
+                          help="named workload to drive")
+    sanitize.set_defaults(fn=_cmd_sanitize)
+
+    analyze = sub.add_parser(
+        "analyze", parents=[common],
+        help="offline analyses (schedule-race detection)")
+    analyze.add_argument("check", choices=["determinism"],
+                         help="which analysis to run")
+    analyze.add_argument("--nodes", type=int, default=2,
+                         help="fig5-small cluster size (default 2)")
+    analyze.add_argument("--rounds", type=int, default=2,
+                         help="checkpoint rounds per run (default 2)")
+    analyze.set_defaults(fn=_cmd_analyze)
     return parser
 
 

@@ -42,11 +42,21 @@ class Cluster:
                  bandwidth_bps: float = 1e9,
                  latency_s: float = 5e-6,
                  cpus_per_node: int = 2,
-                 nic_supports_multiple_macs: bool = True):
-        self.sim = Simulator()
+                 nic_supports_multiple_macs: bool = True,
+                 tiebreak: str = "fifo",
+                 sanitize: Optional[bool] = None):
+        self.sim = Simulator(tiebreak=tiebreak)
         self.random = RandomStreams(seed)
         self.trace = Trace(enabled=trace_enabled)
         self.trace.attach_clock(lambda: self.sim.now)
+        # Runtime invariant sanitizer: explicit opt-in via the kwarg, or
+        # ambient opt-in via CRUZ_SANITIZE=1 (only the latter registers
+        # in sanitize.ACTIVE, which the --cruz-sanitize pytest fixture
+        # inspects — explicitly sanitized clusters are the negative
+        # tests' own business).
+        from repro.analysis import sanitize as _sanitize
+        if sanitize or (sanitize is None and _sanitize.env_enabled()):
+            _sanitize.install(self.trace, register=sanitize is None)
         self.fs = SharedFileSystem()
         self.costs = costs
         self.subnet = Subnet(Ipv4Address.parse("10.1.0.0"), 16)

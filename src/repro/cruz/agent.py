@@ -346,6 +346,7 @@ class CheckpointAgent:
             # open descendants).
             self.node.stack.netfilter.remove_rule(rule_id)
             spans.end(pause_span)
+            self._sanitize_round_end(pod.ip, message.epoch)
 
     def _optimized_checkpoint(self, message: ControlMessage,
                               coordinator_ip: Ipv4Address, pod: Pod,
@@ -492,6 +493,14 @@ class CheckpointAgent:
         finally:
             self.node.stack.netfilter.remove_rule(rule_id)
             spans.end(local_span)
+            self._sanitize_round_end(image.ip, message.epoch)
+
+    def _sanitize_round_end(self, pod_ip, epoch: int) -> None:
+        """End-of-round invariant: no drop rule for the pod survives."""
+        sanitizer = self.node.trace.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_netfilter_round_end(
+                self.node, pod_ip, epoch=epoch, time=self.node.sim.now)
 
     def local_checkpoint(self, pod: Pod, resume: bool = True,
                          incremental: bool = False,

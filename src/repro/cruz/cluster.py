@@ -49,7 +49,8 @@ class CruzCluster(Cluster):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
         self.codec = codec if codec is not None else CruzSocketCodec()
-        self.store = ImageStore(self.fs, metrics=self.trace.metrics)
+        self.store = ImageStore(self.fs, metrics=self.trace.metrics,
+                                sanitizer=self.trace.sanitizer)
         #: Every control datagram (agents and coordinator, ACKs included)
         #: passes through one seeded fault injector; with no plans added
         #: it is a transparent pass-through.

@@ -186,8 +186,10 @@ class CheckpointCoordinator:
                     self._send(Ipv4Address.parse(ip_text), ControlMessage(
                         kind=protocol.ABORT, epoch=epoch,
                         pod_name=pod_name, reason="coordinator restart"))
-                except CoordinationError:
-                    pass  # best effort — the WAL outcome already stands
+                except CoordinationError:  # cruz: noqa[CRZ003]
+                    # Best effort — the WAL outcome already stands; the
+                    # agent's unilateral timeout covers a lost ABORT.
+                    pass
             aborted.append(epoch)
         self._epoch = max(self._epoch, self.wal.max_epoch())
         return aborted
@@ -247,6 +249,11 @@ class CheckpointCoordinator:
         round_span = spans.begin("round", node=self.node.name,
                                  epoch=epoch, kind=kind)
         if self.wal is not None:
+            sanitizer = self.node.trace.sanitizer
+            if sanitizer is not None:
+                sanitizer.check_wal_epoch(
+                    epoch, self.wal.max_epoch(), node=self.node.name,
+                    time=sim.now)
             self.wal.log_start(epoch, kind, members, at=sim.now,
                                coordinator=self.node.name)
         if optimized:

@@ -211,6 +211,8 @@ class ChunkStore:
         self.fs = fs
         self.root = root
         self.refcounts: Dict[str, int] = {}
+        #: Optional runtime sanitizer; flags refcount underflows.
+        self.sanitizer = None
         # Byte-movement counters (the measured quantities the benchmarks
         # read; distinct from the simulated-time accounting).
         self.chunks_written = 0
@@ -248,6 +250,9 @@ class ChunkStore:
 
     def decref(self, cid: str) -> bool:
         """Drop one reference; unlink the chunk when none remain."""
+        if self.sanitizer is not None and self.refcounts.get(cid, 0) <= 0:
+            self.sanitizer.check_refcount_underflow(
+                cid, self.refcounts.get(cid, 0))
         remaining = self.refcounts.get(cid, 0) - 1
         if remaining > 0:
             self.refcounts[cid] = remaining
@@ -317,15 +322,28 @@ class ImageStore:
     """Versioned, chunk-deduplicated checkpoint images in the shared FS."""
 
     def __init__(self, fs: SharedFileSystem, root: str = "/checkpoints",
-                 metrics=None):
+                 metrics=None, sanitizer=None):
         self.fs = fs
         self.root = root
         self.chunks = ChunkStore(fs, root=f"{root}/.chunks")
+        #: Optional runtime sanitizer; when set, every save/discard/prune
+        #: is followed by a full refcount audit (see :meth:`audit`).
+        self.sanitizer = sanitizer
+        self.chunks.sanitizer = sanitizer
         #: Coordination-round WAL, shared (like the images) by every node.
         self.rounds = RoundLog(fs, root=f"{root}/.rounds")
         self._latest: Dict[str, int] = {}
         self._attached = False
         self.last_plan: Optional[SavePlan] = None
+        #: Shadow refcounts for :meth:`audit`, derived from the manifests
+        #: (not from :class:`ChunkStore` bookkeeping) and maintained
+        #: incrementally by :meth:`save` / :meth:`_drop_version` so the
+        #: per-save sanitizer audit stays O(1)-ish instead of re-reading
+        #: every manifest.  Saves made with no sanitizer attached skip
+        #: the upkeep and invalidate the shadow; the next audit rebuilds
+        #: it from disk.
+        self._audit_expected: Dict[str, int] = {}
+        self._audit_valid = True
         #: Optional :class:`repro.sim.spans.MetricsRegistry` — each save
         #: mirrors the chunk byte-movement into typed counters
         #: (``store.bytes_written`` etc.) labelled by save mode.
@@ -358,6 +376,8 @@ class ImageStore:
                 self._latest.get(pod_name, 0), version)
             for cid, _nbytes in self._manifest_chunk_refs(manifest):
                 self.chunks.incref(cid)
+                self._audit_expected[cid] = \
+                    self._audit_expected.get(cid, 0) + 1
 
     def versions(self, pod_name: str) -> List[int]:
         """Versions whose manifests actually exist in the filesystem."""
@@ -548,6 +568,12 @@ class ImageStore:
         path = self._manifest_path(image.pod_name, version)
         self.fs.create(path)
         self.fs.write_at(path, 0, blob)
+        if self.sanitizer is not None:
+            for cid, _nbytes in self._manifest_chunk_refs(manifest):
+                self._audit_expected[cid] = \
+                    self._audit_expected.get(cid, 0) + 1
+        else:
+            self._audit_valid = False
         self._latest[image.pod_name] = version
         self.last_plan = plan
         if self.metrics is not None:
@@ -560,6 +586,7 @@ class ImageStore:
                 self.chunks.bytes_deduped - deduped_before, label=mode)
             self.metrics.histogram("store.save_write_bytes").observe(
                 self.chunks.bytes_written - written_before)
+        self._sanitize_audit("save")
         return version
 
     def load(self, pod_name: str,
@@ -645,6 +672,63 @@ class ImageStore:
         for entry in manifest["shm"]:
             yield entry["payload_cid"], entry["payload_len"]
 
+    def audit(self, deep: bool = False) -> List[Dict[str, Any]]:
+        """Compare the manifest-derived chunk refcounts against the
+        in-memory counts (and, with ``deep=True``, the chunk files).
+
+        The shallow form uses the incrementally maintained shadow counts
+        and is cheap enough to run after every save; the deep form
+        re-reads every manifest from disk (cross-checking the shadow's
+        own upkeep) and additionally looks for missing and orphan chunk
+        files.  Returns a list of problems, empty when sound:
+        refcount mismatches, dangling in-memory counts, non-positive
+        counts, and (deep) references to missing chunk files plus chunk
+        files nothing references.
+        """
+        self._ensure_attached()
+        if deep or not self._audit_valid:
+            deep = True
+            rebuilt: Dict[str, int] = {}
+            for path in self.fs.listdir(f"{self.root}/"):
+                if not path.endswith(".manifest"):
+                    continue
+                manifest = thaw_object(
+                    self.fs.read_at(path, 0, self.fs.size(path)))
+                for cid, _nbytes in self._manifest_chunk_refs(manifest):
+                    rebuilt[cid] = rebuilt.get(cid, 0) + 1
+            self._audit_expected = rebuilt
+            self._audit_valid = True
+        expected = self._audit_expected
+        problems: List[Dict[str, Any]] = []
+        if expected != self.chunks.refcounts:
+            for cid, count in sorted(expected.items()):
+                actual = self.chunks.refcounts.get(cid, 0)
+                if actual != count:
+                    problems.append({"kind": "refcount_mismatch",
+                                     "cid": cid, "expected": count,
+                                     "actual": actual})
+            for cid, count in sorted(self.chunks.refcounts.items()):
+                if cid not in expected:
+                    problems.append({"kind": "dangling_refcount",
+                                     "cid": cid, "actual": count})
+                if count <= 0:
+                    problems.append({"kind": "nonpositive_refcount",
+                                     "cid": cid, "actual": count})
+        if deep:
+            for cid in sorted(expected):
+                if not self.chunks.contains(cid):
+                    problems.append({"kind": "missing_chunk", "cid": cid,
+                                     "expected": expected[cid]})
+            for path in self.fs.listdir(f"{self.chunks.root}/"):
+                cid = path.rsplit("/", 1)[-1]
+                if expected.get(cid, 0) == 0:
+                    problems.append({"kind": "orphan_chunk", "cid": cid})
+        return problems
+
+    def _sanitize_audit(self, context: str) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_store(self, context=context)
+
     def _drop_version(self, pod_name: str, version: int) -> bool:
         """Decref a version's chunks and delete its manifest."""
         path = self._manifest_path(pod_name, version)
@@ -654,6 +738,14 @@ class ImageStore:
             self.fs.read_at(path, 0, self.fs.size(path)))
         for cid, _nbytes in self._manifest_chunk_refs(manifest):
             self.chunks.decref(cid)
+            if self.sanitizer is not None:
+                left = self._audit_expected.get(cid, 0) - 1
+                if left > 0:
+                    self._audit_expected[cid] = left
+                else:
+                    self._audit_expected.pop(cid, None)
+        if self.sanitizer is None:
+            self._audit_valid = False
         self.fs.unlink(path)
         return True
 
@@ -663,6 +755,7 @@ class ImageStore:
         self._drop_version(pod_name, version)
         remaining = self.versions(pod_name)
         self._latest[pod_name] = max(remaining) if remaining else 0
+        self._sanitize_audit("discard")
 
     def prune(self, pod_name: str, keep: int = 1) -> int:
         """Delete all but the newest ``keep`` versions; returns removed.
@@ -680,4 +773,5 @@ class ImageStore:
                 removed += 1
         remaining = self.versions(pod_name)
         self._latest[pod_name] = max(remaining) if remaining else 0
+        self._sanitize_audit("prune")
         return removed

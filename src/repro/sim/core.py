@@ -210,11 +210,9 @@ class SimProcess(Event):
         # Detach from whatever we were waiting on; the stale callback is
         # removed so the original event cannot resume us twice.
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if target is not None and target.callbacks is not None \
+                and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
         self._waiting_on = None
         poke.callbacks.append(self._resume)
         self.sim._schedule_event(poke, 0.0, priority=URGENT)
@@ -257,11 +255,21 @@ class Simulator:
     All times are floats in **seconds** of simulated time.
     """
 
-    def __init__(self):
+    #: Tie-break policies for events sharing (time, priority): "fifo"
+    #: pops them in scheduling order, "lifo" newest-first. Correct code
+    #: must be indifferent — the determinism analyzer runs a workload
+    #: under both and diffs the results (a schedule-race detector).
+    TIEBREAKS = ("fifo", "lifo")
+
+    def __init__(self, tiebreak: str = "fifo"):
+        if tiebreak not in self.TIEBREAKS:
+            raise SimulationError(f"unknown tiebreak {tiebreak!r}")
         self._now = 0.0
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._running = False
+        self._sequence_sign = 1 if tiebreak == "fifo" else -1
+        self.tiebreak = tiebreak
 
     @property
     def now(self) -> float:
@@ -307,7 +315,8 @@ class Simulator:
                         priority: int = NORMAL) -> None:
         self._sequence += 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event))
+            self._queue, (self._now + delay, priority,
+                          self._sequence_sign * self._sequence, event))
 
     def step(self) -> None:
         """Process the single next event."""

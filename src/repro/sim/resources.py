@@ -56,10 +56,8 @@ class Resource:
         if grant.triggered:
             self.release()
             return
-        try:
+        if grant in self._waiters:
             self._waiters.remove(grant)
-        except ValueError:
-            pass
 
 
 class Semaphore:

@@ -189,6 +189,31 @@ class SpanRecorder:
             self._by_id[span.span_id] = span
         return span
 
+    def current(self, node: str = "") -> Optional[Span]:
+        """The innermost open span on ``node``'s ambient stack, or None.
+
+        The runtime sanitizer uses this to annotate each violation with
+        the phase it fired inside (e.g. ``agent.local[epoch=3]``).
+        """
+        stack = self._stacks.get(node)
+        return stack[-1] if stack else None
+
+    def innermost(self) -> Optional[Span]:
+        """The deepest open span across every node's ambient stack.
+
+        Checkers with no node of their own (the shared image store, the
+        end-of-round audits) use this to attribute a violation to the
+        operation in flight — during a checkpoint round that is e.g.
+        ``zap.store_write`` rather than nothing at all.
+        """
+        best: Optional[Span] = None
+        depth = 0
+        for stack in self._stacks.values():
+            if len(stack) > depth:
+                depth = len(stack)
+                best = stack[-1]
+        return best
+
     def clear(self) -> None:
         self.spans.clear()
         self._by_id.clear()

@@ -41,6 +41,10 @@ class Trace:
         self.records: List[TraceRecord] = []
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder(clock=clock, enabled=enabled)
+        #: Optional :class:`repro.analysis.sanitize.Sanitizer`. The
+        #: runtime hooks (TCP input, chunk store, coordinator, agents,
+        #: kernel) check this slot and stay silent while it is None.
+        self.sanitizer = None
         self._emits = self.metrics.counter("trace.emits")
 
     def attach_clock(self, clock: Callable[[], float]) -> None:

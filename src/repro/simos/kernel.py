@@ -215,6 +215,9 @@ class Node:
             exit_code = -9
         finally:
             self._cleanup(proc)
+            if self.trace.sanitizer is not None:
+                self.trace.sanitizer.check_process_exit(
+                    self.name, proc, time=self.sim.now)
         proc.mark_exited(exit_code)
         return exit_code
 
@@ -222,7 +225,9 @@ class Node:
         for fd in proc.fds.fds():
             try:
                 self._close_descriptor(proc.fds.remove(fd))
-            except SyscallError:
+            except SyscallError:  # cruz: noqa[CRZ003]
+                # Teardown double-close (e.g. both pipe ends already
+                # gone) is benign; the descriptor was removed above.
                 pass
 
     def _close_descriptor(self, descriptor: Descriptor) -> None:
@@ -714,6 +719,26 @@ class Node:
                 raise
             yield from self._stop_gate(proc)
         return None
+
+    def on_pod_exit(self, pod) -> None:
+        """Reclaim a departing pod's SysV IPC and run pod-exit checks.
+
+        Pod-private shm/sem keys embed the pod id in their top bits
+        (``key >> 32``), so everything the pod ever created is found
+        here and released — segments must not outlive the pod (their
+        contents live on in checkpoint images, and a restart re-creates
+        them via ``restore_shm``/``restore_sem``). The sanitizer then
+        verifies the pause/resume pairing and that nothing in the pod's
+        key namespace survived.
+        """
+        for shmid in [segment.shmid for segment in self.ipc.shm.values()
+                      if segment.key >> 32 == pod.pod_id]:
+            self.ipc.shm_remove(shmid)
+        for semid in [sem.semid for sem in self.ipc.sem.values()
+                      if sem.key >> 32 == pod.pod_id]:
+            self.ipc.sem_remove(semid)
+        if self.trace.sanitizer is not None:
+            self.trace.sanitizer.check_pod_exit(pod, time=self.sim.now)
 
     # -- device control --------------------------------------------------------
 

@@ -602,7 +602,23 @@ class TcpConnection:
     # ------------------------------------------------------------------
 
     def on_segment(self, segment: TcpSegment) -> None:
-        """Process one incoming segment (already demuxed by the stack)."""
+        """Process one incoming segment (already demuxed by the stack).
+
+        Under ``CRUZ_SANITIZE`` the §5.1 sequence invariants
+        (``snd_una <= snd_nxt``, monotonic ``rcv_nxt``, receive buffer
+        in sync with the TCB) are re-checked after every segment,
+        whatever path it took through the state machine.
+        """
+        try:
+            self._on_segment(segment)
+        finally:
+            if self.telemetry is not None \
+                    and self.telemetry.sanitizer is not None \
+                    and not self.frozen:
+                self.telemetry.sanitizer.check_tcp_segment(
+                    self, time=self.sim.now)
+
+    def _on_segment(self, segment: TcpSegment) -> None:
         if self.frozen:
             return  # dropped exactly like the netfilter rule would
         self._last_activity = self.sim.now

@@ -248,14 +248,12 @@ class CheckpointEngine:
 
 def pod_sockets(pod: Pod) -> List:
     """All distinct socket objects reachable from the pod's processes."""
-    sockets = []
-    seen = set()
+    sockets: List = []
     for proc in pod.live_processes():
         for _fd, descriptor in proc.fds.items():
             obj = descriptor.obj
             if isinstance(obj, (TcpSocket, UdpSocket)) \
-                    and id(obj) not in seen:
-                seen.add(id(obj))
+                    and not any(obj is known for known in sockets):
                 sockets.append(obj)
     return sockets
 

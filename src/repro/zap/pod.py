@@ -55,6 +55,11 @@ class Pod:
         self.vshm: Dict[int, int] = {}
         self.vsem: Dict[int, int] = {}
 
+        # Pause/resume bookkeeping: the runtime sanitizer checks the
+        # pairing at pod exit (no live process may still be stopped).
+        self.pause_count = 0
+        self.resume_count = 0
+
     # -- lifecycle -------------------------------------------------------
 
     def attach(self) -> None:
@@ -144,10 +149,12 @@ class Pod:
 
     def stop_all(self) -> None:
         """SIGSTOP every process (first step of a checkpoint, §4.1)."""
+        self.pause_count += 1
         for proc in self.live_processes():
             self.node.signal_now(proc.pid, SIGSTOP)
 
     def continue_all(self) -> None:
+        self.resume_count += 1
         for proc in self.live_processes():
             self.node.signal_now(proc.pid, SIGCONT)
 

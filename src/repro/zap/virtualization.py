@@ -171,4 +171,7 @@ def install_pod(pod: Pod) -> ZapInterposer:
 
 def uninstall_pod(pod: Pod) -> None:
     pod.node.interposers.pop(pod.pod_id, None)
+    # Kernel-side pod-exit path: reclaims the pod's SysV IPC namespace
+    # and (under CRUZ_SANITIZE) checks pause/resume pairing and leaks.
+    pod.node.on_pod_exit(pod)
     pod.detach()

@@ -1,0 +1,41 @@
+"""Shared pytest plumbing: the ``--cruz-sanitize`` lane.
+
+``pytest --cruz-sanitize`` runs every test with ``CRUZ_SANITIZE=1`` in
+the environment, so each :class:`repro.cluster.Cluster` a test builds
+installs a runtime sanitizer (see :mod:`repro.analysis.sanitize`).  At
+test teardown the fixture collects the violations from every
+environment-installed sanitizer and fails the test if any accumulated.
+
+Tests that *want* violations (the negative cases in
+``test_sanitizer.py``) construct their clusters with an explicit
+``sanitize=True`` — those sanitizers never register in
+``sanitize.ACTIVE`` and are therefore invisible to this fixture.
+"""
+
+import pytest
+
+from repro.analysis import sanitize
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--cruz-sanitize", action="store_true", default=False,
+        help="run every test with the Cruz runtime invariant sanitizer "
+             "enabled (CRUZ_SANITIZE=1) and fail on any violation")
+
+
+@pytest.fixture(autouse=True)
+def cruz_sanitize(request, monkeypatch):
+    if not request.config.getoption("--cruz-sanitize"):
+        yield
+        return
+    monkeypatch.setenv(sanitize.ENV_FLAG, "1")
+    sanitize.ACTIVE.clear()
+    yield
+    violations = [violation for sanitizer in sanitize.ACTIVE
+                  for violation in sanitizer.violations]
+    sanitize.ACTIVE.clear()
+    if violations:
+        lines = "\n".join(v.render() for v in violations)
+        pytest.fail(
+            f"cruz sanitizer: {len(violations)} violation(s)\n{lines}")

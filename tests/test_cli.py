@@ -129,3 +129,79 @@ def test_to_jsonable_handles_the_harness_types():
     assert payload["seq"] == [1, "two", None]
     assert payload["other"] == {"1": "{2.5}"}  # last-resort stringify
     json.dumps(payload, allow_nan=False)
+
+
+# -- analysis commands (lint / sanitize / analyze) -------------------------
+
+
+def test_exit_code_convention_constants():
+    from repro.cli import EXIT_OK, EXIT_USAGE, EXIT_VIOLATIONS
+
+    assert (EXIT_OK, EXIT_VIOLATIONS, EXIT_USAGE) == (0, 1, 2)
+
+
+def test_parser_knows_the_analysis_commands():
+    parser = build_parser()
+    for argv in (["lint"], ["sanitize", "fig5-small"],
+                 ["analyze", "determinism"]):
+        args = parser.parse_args(argv)
+        assert callable(args.fn)
+        assert args.json is False
+
+
+def test_cli_lint_is_clean_on_the_tree(capsys):
+    assert main(["lint"]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_flags_injected_wallclock(tmp_path, capsys):
+    bad = tmp_path / "leaky.py"
+    bad.write_text("import time\n\ndef now():\n    return time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "CRZ001" in out
+    assert f"{bad}:4:" in out
+
+
+def test_cli_lint_json_carries_violations_and_catalog(tmp_path, capsys):
+    bad = tmp_path / "leaky.py"
+    bad.write_text("import random\n\ndef pick(xs):\n"
+                   "    return random.choice(xs)\n")
+    assert main(["lint", str(bad), "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "lint"
+    assert doc["violations"][0]["code"] == "CRZ002"
+    assert "CRZ002" in doc["rules"]
+
+
+def test_cli_sanitize_fig5_small_is_clean(capsys):
+    assert main(["sanitize", "fig5-small"]) == 0
+    assert "sanitizer: clean" in capsys.readouterr().out
+
+
+def test_cli_sanitize_rejects_unknown_workload(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sanitize", "bogus"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_analyze_rejects_unknown_check(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["analyze", "entropy"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_analyze_determinism_passes(capsys):
+    assert main(["analyze", "determinism", "--nodes", "2",
+                 "--rounds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_cli_analyze_determinism_json(capsys):
+    assert main(["analyze", "determinism", "--nodes", "2",
+                 "--rounds", "1", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "analyze"
+    assert doc["deterministic"] is True
+    assert doc["divergences"] == []
