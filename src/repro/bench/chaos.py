@@ -1,0 +1,253 @@
+"""``repro chaos``: the self-healing smoke test.
+
+Runs the slm benchmark on a supervised, sanitized cluster while a seeded
+:class:`~repro.cruz.faults.ChaosInjector` crashes an application node in
+the middle of a coordinated checkpoint round (and later flaps a survivor's
+link just long enough to exercise the failure detector's false-alarm
+path). The run must heal itself with no manual intervention: the
+supervisor detects the death, the in-flight round aborts cleanly, the
+dead node's pods restart on survivors from the last *committed* version,
+and the application finishes with bit-exact output.
+
+Everything is derived from the seed — the same ``--seed`` replays the
+same crash instants, the same placement and the same final field hash —
+so a chaos run doubles as a determinism probe: ``chaos_determinism``
+runs it under both event tie-break policies and diffs the fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CoordinationError
+
+
+@dataclass
+class ChaosResult:
+    """Everything ``repro chaos`` reports (and the tests assert on)."""
+
+    seed: int
+    tiebreak: str
+    sim_time_s: float = 0.0
+    completed: bool = False
+    output_correct: bool = False
+    #: sha256 of the final global field — the bit-for-bit replay probe.
+    field_hash: str = ""
+    #: Store/clock digest (same scheme as ``repro analyze determinism``).
+    state_hash: str = ""
+    rounds_committed: int = 0
+    rounds_aborted: int = 0
+    deaths: List[str] = field(default_factory=list)
+    false_alarms: int = 0
+    #: One entry per automatic failover: MTTR and its phase breakdown.
+    failovers: List[Dict[str, Any]] = field(default_factory=list)
+    failover_failures: List[str] = field(default_factory=list)
+    sanitizer_violations: int = 0
+    sanitizer_report: str = ""
+    frames_dropped: int = 0
+    chaos_log: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def mttr_s(self) -> Optional[float]:
+        """Detection-to-serving time of the first failover, seconds."""
+        if not self.failovers:
+            return None
+        return self.failovers[0]["phases"]["total"]
+
+    @property
+    def ok(self) -> bool:
+        return (self.completed and self.output_correct
+                and self.sanitizer_violations == 0
+                and not self.failover_failures
+                and bool(self.failovers))
+
+    def render(self) -> str:
+        head = "chaos: PASS" if self.ok else "chaos: FAIL"
+        lines = [
+            f"{head} (seed={self.seed}, tiebreak={self.tiebreak}, "
+            f"t={self.sim_time_s:.3f}s)",
+            f"  completed={self.completed} "
+            f"output_correct={self.output_correct} "
+            f"field_hash={self.field_hash[:16]}",
+            f"  rounds: committed={self.rounds_committed} "
+            f"aborted={self.rounds_aborted}",
+            f"  deaths={self.deaths} false_alarms={self.false_alarms} "
+            f"frames_dropped={self.frames_dropped}",
+        ]
+        for fo in self.failovers:
+            phases = fo["phases"]
+            lines.append(
+                f"  failover[{fo['app']}]: {fo['dead_node']} -> "
+                f"{fo['placement']} v{fo['version']} "
+                f"attempts={fo['attempts']}")
+            lines.append(
+                "    mttr={total:.3f}s (detect={detect:.3f} "
+                "verify={verify:.3f} place={place:.3f} "
+                "restart={restart:.3f})".format(**phases))
+        for reason in self.failover_failures:
+            lines.append(f"  failover FAILED: {reason}")
+        lines.append(f"  {self.sanitizer_report.splitlines()[0]}")
+        return "\n".join(lines)
+
+
+def run_chaos(seed: int = 7,
+              app_nodes: int = 3,
+              ranks: int = 2,
+              steps: int = 40,
+              rows_per_rank: int = 4,
+              cols: int = 16,
+              total_work_s: float = 4.0,
+              memory_mb_per_rank: float = 2.0,
+              checkpoint_interval_s: float = 0.6,
+              crash_node_index: int = 0,
+              crash_at: Optional[float] = None,
+              crash_jitter_s: float = 0.008,
+              revive_after: Optional[float] = None,
+              link_flap: bool = True,
+              tiebreak: str = "fifo",
+              limit_s: float = 60.0) -> ChaosResult:
+    """One seeded chaos run; see the module docstring for the scenario.
+
+    The default crash lands ~10 ms into the second checkpoint round —
+    mid-save, the worst moment: the round must abort (a dead node never
+    writes another WAL record) and failover must fall back to the round
+    that *committed*, not the one in flight.
+    """
+    from repro.analysis.determinism import state_hash
+    from repro.apps.slm import reference_solution, slm_factory
+    from repro.cruz.cluster import CruzCluster
+    from repro.cruz.faults import ChaosInjector
+
+    rows = rows_per_rank * ranks
+    result = ChaosResult(seed=seed, tiebreak=tiebreak)
+    cluster = CruzCluster(app_nodes, seed=seed, supervise=True,
+                          sanitize=True, tiebreak=tiebreak)
+    app = cluster.launch_app_factory(
+        "slm", ranks,
+        slm_factory(ranks, global_rows=rows, cols=cols, steps=steps,
+                    total_work_s=total_work_s,
+                    memory_mb_per_rank=memory_mb_per_rank))
+
+    def done() -> bool:
+        programs = cluster.app_programs(app)
+        return (len(programs) == ranks
+                and all(p.step_count >= steps for p in programs))
+
+    def members_alive() -> bool:
+        return all(
+            any(pod.name in agent.pods and not agent.crashed
+                for agent in cluster.agents)
+            for pod in app.pods)
+
+    def checkpoint_daemon():
+        while True:
+            yield cluster.sim.timeout(checkpoint_interval_s)
+            if done():
+                return
+            if cluster.supervisor.failover_active(app.name) \
+                    or not members_alive():
+                continue
+            try:
+                yield from cluster.coordinator.checkpoint(app)
+                result.rounds_committed += 1
+            except CoordinationError:
+                # A chaos-aborted round: the supervisor (or the
+                # coordinator's own timeout) failed it under us. The
+                # next tick retries against the healed membership.
+                result.rounds_aborted += 1
+
+    cluster.sim.process(checkpoint_daemon(), name="checkpoint-daemon")
+
+    chaos = ChaosInjector(cluster)
+    if crash_at is None:
+        # Arm just before the second round; fire mid-save once the
+        # round is actually in flight (round starts drift with the
+        # workload, so a fixed-clock crash would miss the window).
+        crash_at = 2 * checkpoint_interval_s
+    chaos.schedule_node_crash_mid_round(crash_node_index, after=crash_at,
+                                        within_s=crash_jitter_s,
+                                        revive_after=revive_after)
+    if link_flap:
+        # A survivor's link drops for less than the death threshold:
+        # the detector must suspect and then stand down, not declare.
+        flap_node = (crash_node_index + 1) % app_nodes
+        flap_misses = max(1, cluster.lease_misses - 2)
+        chaos.schedule_link_flap(
+            flap_node, at=crash_at + 1.0,
+            duration_s=flap_misses * (cluster.heartbeat_interval_s
+                                      + cluster.heartbeat_jitter_s))
+
+    try:
+        cluster.run_until(done, limit=limit_s)
+        result.completed = True
+    except TimeoutError:
+        result.completed = False
+    cluster.run_for(0.2)  # drain retransmits and trailing ACKs
+
+    result.sim_time_s = cluster.sim.now
+    if result.completed:
+        programs = sorted(cluster.app_programs(app),
+                          key=lambda p: p.rank)
+        final = np.vstack([p.q for p in programs])
+        expected = reference_solution(rows, cols, steps)
+        result.output_correct = bool(np.array_equal(final, expected))
+        result.field_hash = hashlib.sha256(
+            np.ascontiguousarray(final).tobytes()).hexdigest()
+
+    # Deep final audit: every manifest re-read, refcounts re-derived.
+    sanitizer = cluster.trace.sanitizer
+    sanitizer.check_store(cluster.store, time=cluster.sim.now,
+                          context="final", deep=True)
+    result.sanitizer_violations = len(sanitizer.violations)
+    result.sanitizer_report = sanitizer.report()
+
+    supervisor = cluster.supervisor
+    result.deaths = [death["node"] for death in supervisor.deaths]
+    result.false_alarms = len(cluster.spans.query(
+        "failover.detect", declared=False))
+    for record in supervisor.failovers:
+        entry = asdict(record)
+        entry["phases"] = record.phases()
+        result.failovers.append(entry)
+    result.failover_failures = [str(error)
+                                for error in supervisor.failures]
+    dropped = cluster.metrics.counter("link.frames_dropped")
+    result.frames_dropped = int(dropped.value)
+    result.chaos_log = list(chaos.log)
+    result.state_hash = state_hash(cluster)
+    return result
+
+
+def chaos_determinism(seed: int = 7, **kwargs) -> List[str]:
+    """Run the chaos scenario under FIFO and LIFO event tie-breaking
+    and return every fingerprint path where they disagree (schedule
+    races); empty means the healing pipeline is deterministic."""
+    from repro.analysis.determinism import _diff
+
+    divergences: List[str] = []
+    runs = {}
+    for tiebreak in ("fifo", "lifo"):
+        r = run_chaos(seed=seed, tiebreak=tiebreak, **kwargs)
+        runs[tiebreak] = {
+            "completed": r.completed,
+            "output_correct": r.output_correct,
+            "field_hash": r.field_hash,
+            "state_hash": r.state_hash,
+            "rounds": [r.rounds_committed, r.rounds_aborted],
+            "deaths": r.deaths,
+            "failovers": [
+                {"dead_node": fo["dead_node"],
+                 "version": fo["version"],
+                 "attempts": fo["attempts"],
+                 "placement": fo["placement"],
+                 "phases": fo["phases"]}
+                for fo in r.failovers],
+            "chaos_log": r.chaos_log,
+            "sim_time": round(r.sim_time_s, 12),
+        }
+    _diff(runs["fifo"], runs["lifo"], "chaos", divergences)
+    return divergences

@@ -317,6 +317,32 @@ def _cmd_analyze(args) -> int:
     return EXIT_OK if report.deterministic else EXIT_VIOLATIONS
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded chaos run: crash a node mid-round, demand self-healing."""
+    from repro.bench.chaos import chaos_determinism, run_chaos
+
+    result = run_chaos(seed=args.seed, crash_node_index=args.crash_node,
+                       link_flap=not args.no_flap)
+    divergences: List[str] = []
+    if args.check_determinism:
+        divergences = chaos_determinism(seed=args.seed)
+    ok = result.ok and not divergences
+    if args.json:
+        _emit_json({
+            "command": "chaos",
+            "ok": ok,
+            "result": result,
+            "mttr_s": result.mttr_s,
+            "determinism_divergences": divergences,
+        })
+        return EXIT_OK if ok else EXIT_VIOLATIONS
+    print(result.render())
+    if args.check_determinism:
+        print("determinism: " + ("PASS (fifo == lifo)" if not divergences
+                                 else f"FAIL — {divergences}"))
+    return EXIT_OK if ok else EXIT_VIOLATIONS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -414,6 +440,20 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--rounds", type=int, default=2,
                          help="checkpoint rounds per run (default 2)")
     analyze.set_defaults(fn=_cmd_analyze)
+
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="seeded node-crash chaos run with automatic failover")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="chaos schedule seed (default 7)")
+    chaos.add_argument("--crash-node", type=int, default=0,
+                       help="application node to crash (default 0)")
+    chaos.add_argument("--no-flap", action="store_true",
+                       help="skip the survivor link flap")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="also replay under LIFO tie-breaking and "
+                            "diff the fingerprints")
+    chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

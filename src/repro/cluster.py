@@ -77,7 +77,7 @@ class Cluster:
             self.links.append(Link(
                 self.sim, nic.port, self.switch.new_port(),
                 bandwidth_bps=bandwidth_bps, latency_s=latency_s,
-                name=f"node{index}<->switch"))
+                name=f"node{index}<->switch", trace=self.trace))
             self.nodes.append(node)
 
     # -- address allocation -------------------------------------------------

@@ -32,7 +32,12 @@ from repro.cruz.protocol import (
     RetryPolicy,
     RoundStats,
 )
-from repro.cruz.storage import ImageStore, RoundLog
+from repro.cruz.storage import ImageStore, LivenessLog, RoundLog
+from repro.cruz.supervisor import (
+    FailoverRecord,
+    NodeLease,
+    NodeSupervisor,
+)
 
 __all__ = [
     "ChannelVerdict",
@@ -44,8 +49,12 @@ __all__ = [
     "CruzCluster",
     "CruzSocketCodec",
     "DistributedApp",
+    "FailoverRecord",
     "FaultPlan",
     "ImageStore",
+    "LivenessLog",
+    "NodeLease",
+    "NodeSupervisor",
     "ReliableEndpoint",
     "RetryPolicy",
     "RoundLog",

@@ -27,13 +27,14 @@ never commit — or resurrect — that epoch.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Set, Tuple
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.cruz import protocol
 from repro.cruz.netstate import CruzSocketCodec
 from repro.cruz.protocol import (
     AGENT_PORT,
     COORDINATOR_PORT,
+    SUPERVISOR_PORT,
     ControlMessage,
     ReliableEndpoint,
     RetryPolicy,
@@ -41,6 +42,7 @@ from repro.cruz.protocol import (
 from repro.cruz.storage import ImageStore
 from repro.errors import CoordinationError
 from repro.net.addresses import Ipv4Address
+from repro.sim.core import Interrupt
 from repro.simos.kernel import Node
 from repro.zap.checkpoint import CheckpointEngine, scrub_pod_network
 from repro.zap.pod import Pod
@@ -91,6 +93,13 @@ class CheckpointAgent:
         #: Failure injection: a crashed agent ignores all traffic (and,
         #: being crashed, sends no ACKs either).
         self.crashed = False
+        #: Liveness beacons sent (see :meth:`start_heartbeats`).
+        self.heartbeats_sent = 0
+        self._heartbeat_seq = 0
+        #: In-flight dispatch/save simulation processes, interrupted on
+        #: :meth:`crash` so a powered-off node stops mid-operation. A
+        #: list (not a set) so the interrupt order is reproducible.
+        self._tasks: List = []
         self.endpoint = ReliableEndpoint(
             node, AGENT_PORT, self._on_message, policy=retry,
             faults=faults, is_alive=lambda: not self.crashed,
@@ -101,6 +110,62 @@ class CheckpointAgent:
 
     def unregister_pod(self, pod_name: str) -> Optional[Pod]:
         return self.pods.pop(pod_name, None)
+
+    # -- liveness ----------------------------------------------------------
+
+    def start_heartbeats(self, supervisor_ip: Ipv4Address,
+                         interval_s: float, jitter_s: float, rng) -> None:
+        """Send periodic fire-and-forget liveness beacons.
+
+        Each beat waits ``interval_s`` plus a seeded uniform
+        ``[0, jitter_s)`` draw, so beats from different nodes never
+        align on the same simulator instant (which would make event
+        ordering tiebreak-sensitive). A crashed agent skips sends but
+        keeps the loop alive, so a revived node resumes beating without
+        new plumbing.
+        """
+        self.node.sim.process(
+            self._heartbeat_loop(supervisor_ip, interval_s, jitter_s,
+                                 rng),
+            name=f"heartbeat@{self.node.name}")
+
+    def _heartbeat_loop(self, supervisor_ip: Ipv4Address,
+                        interval_s: float, jitter_s: float,
+                        rng) -> Generator:
+        sim = self.node.sim
+        while True:
+            yield sim.timeout(interval_s + rng.random() * jitter_s)
+            if self.crashed:
+                continue
+            self._heartbeat_seq += 1
+            self.heartbeats_sent += 1
+            self.endpoint.send_unreliable(
+                supervisor_ip, SUPERVISOR_PORT, ControlMessage(
+                    kind=protocol.HEARTBEAT, epoch=self._heartbeat_seq,
+                    node_name=self.node.name, payload_bytes=16))
+
+    def crash(self) -> None:
+        """Power-loss semantics: stop executing, forget volatile state.
+
+        Interrupts every in-flight dispatch/save process (a dead node
+        never finishes a save, never writes an abort record, never sends
+        another frame — the endpoint's ``is_alive`` gate silences both
+        directions) and drops the per-round state held in memory.
+        ``last_completed_epoch`` survives deliberately: the epoch guard
+        must keep rejecting stale retransmissions after a revive, and
+        epochs only ever grow.
+        """
+        self.crashed = True
+        for task in self._tasks:
+            if task.is_alive:
+                task.interrupt("node crash")
+        self._tasks = []
+        self._rounds.clear()
+        self._aborted_epochs.clear()
+
+    def revive(self) -> None:
+        """Power back on: accept traffic and resume heartbeats."""
+        self.crashed = False
 
     # -- transport ---------------------------------------------------------
 
@@ -115,9 +180,15 @@ class CheckpointAgent:
     def _on_message(self, payload: ControlMessage,
                     src_ip: Ipv4Address) -> None:
         self.messages_handled += 1
-        self.node.sim.process(
+        self._track(self.node.sim.process(
             self._dispatch(payload, src_ip),
-            name=f"agent@{self.node.name}:{payload.kind}")
+            name=f"agent@{self.node.name}:{payload.kind}"))
+
+    def _track(self, task):
+        """Remember an in-flight sim process for interrupt-on-crash."""
+        self._tasks = [t for t in self._tasks if t.is_alive]
+        self._tasks.append(task)
+        return task
 
     def _dispatch(self, message: ControlMessage,
                   coordinator_ip: Ipv4Address) -> Generator:
@@ -293,6 +364,10 @@ class CheckpointAgent:
                     dedup=message.dedup,
                     concurrent=message.concurrent)
             except Exception as error:  # noqa: BLE001 - engine failure
+                if isinstance(error, Interrupt):
+                    # Node crash mid-save: a powered-off agent writes no
+                    # abort record and sends nothing.
+                    raise
                 spans.end(local_span)
                 spans.end(pause_span)
                 self._abort_failed_save(message, coordinator_ip, pod,
@@ -368,13 +443,13 @@ class CheckpointAgent:
         sim, costs = self.node.sim, self.node.costs
         spans = self.node.trace.spans
         captured = sim.event(f"captured({message.epoch})")
-        save_task = sim.process(
+        save_task = self._track(sim.process(
             self.checkpoint_engine.checkpoint(
                 pod, resume=False, incremental=message.incremental,
                 dedup=message.dedup,
                 on_captured=lambda: captured.succeed()
                 if not captured.triggered else None),
-            name=f"save({pod.name})")
+            name=f"save({pod.name})"))
         # The wait overlaps the concurrent save on this node, so it stays
         # off the ambient stack (attach=False): the engine's zap.* spans
         # must nest under agent.local, not under the wait.
@@ -401,6 +476,8 @@ class CheckpointAgent:
                 removed_early = True
             image = yield save_task
         except Exception as error:  # noqa: BLE001 - engine failure
+            if isinstance(error, Interrupt):
+                raise  # node crash mid-save: stay silent
             spans.end(local_span)
             spans.end(pause_span)
             self._abort_failed_save(message, coordinator_ip, pod, error)

@@ -16,7 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster import Cluster
 from repro.cruz.agent import CheckpointAgent
@@ -25,7 +25,8 @@ from repro.cruz.faults import ControlFaultInjector, FaultPlan
 from repro.cruz.netstate import CruzSocketCodec
 from repro.cruz.protocol import RetryPolicy, RoundStats
 from repro.cruz.storage import ImageStore
-from repro.errors import PodError
+from repro.cruz.supervisor import NodeSupervisor
+from repro.errors import MigrationError, PodError, RestartMismatchError
 from repro.simos.program import Program
 from repro.zap.checkpoint import scrub_pod_network
 from repro.zap.pod import Pod
@@ -45,6 +46,11 @@ class CruzCluster(Cluster):
                  coordinator_timeout_s: float = 60.0,
                  control_faults: Optional[Sequence[FaultPlan]] = None,
                  control_retry: Optional[RetryPolicy] = None,
+                 supervise: bool = False,
+                 heartbeat_interval_s: float = 0.05,
+                 heartbeat_jitter_s: float = 0.01,
+                 lease_misses: int = 3,
+                 auto_failover: bool = True,
                  **kwargs):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
@@ -71,6 +77,96 @@ class CruzCluster(Cluster):
             store=self.store, retry=control_retry,
             faults=self.fault_injector)
         self.apps: Dict[str, DistributedApp] = {}
+        #: Indices of nodes currently powered off (:meth:`crash_node`).
+        self.dead_nodes: Set[int] = set()
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_jitter_s = heartbeat_jitter_s
+        self.lease_misses = lease_misses
+        self.auto_failover = auto_failover
+        self.supervisor: Optional[NodeSupervisor] = None
+        if supervise:
+            self._install_supervisor(start_heartbeats=True)
+
+    # -- supervision ---------------------------------------------------------
+
+    def _install_supervisor(self, start_heartbeats: bool) -> NodeSupervisor:
+        self.supervisor = NodeSupervisor(
+            self, node=self.coordinator_node,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_jitter_s=self.heartbeat_jitter_s,
+            lease_misses=self.lease_misses,
+            auto_failover=self.auto_failover)
+        supervisor_ip = self.coordinator_node.stack.eth0.ip
+        for index, agent in enumerate(self.agents):
+            self.supervisor.watch(index)
+            if start_heartbeats:
+                # One named seeded stream per node: adding nodes (or
+                # reordering startup) never perturbs another node's
+                # jitter sequence.
+                agent.start_heartbeats(
+                    supervisor_ip, self.heartbeat_interval_s,
+                    self.heartbeat_jitter_s,
+                    self.random.stream(f"heartbeat-{agent.node.name}"))
+        self.supervisor.start()
+        return self.supervisor
+
+    def restart_supervisor(self) -> NodeSupervisor:
+        """Replace the supervisor (crash recovery).
+
+        The new instance inherits node liveness from the shared-store
+        :class:`~repro.cruz.storage.LivenessLog` — nodes declared dead
+        by the old supervisor stay dead without re-detection. The
+        agents' heartbeat loops keep running; only the receiving
+        endpoint is replaced.
+        """
+        if self.supervisor is None:
+            raise PodError("cluster was built without supervise=True")
+        self.supervisor.close()
+        return self._install_supervisor(start_heartbeats=False)
+
+    # -- node power model ----------------------------------------------------
+
+    def crash_node(self, node_index: int) -> None:
+        """Power-loss failure of one application node (§1's fail-stop).
+
+        Takes the node's link down (every in-flight frame on it is
+        dropped), silences its agent mid-operation (no ACKs, no
+        heartbeats, interrupted saves — a dead node never writes another
+        WAL record), destroys resident pods, and clears the node's
+        volatile netfilter state. Distinct from :meth:`crash_app`, which
+        kills pods but leaves the node (and its agent) healthy.
+        """
+        if not 0 <= node_index < self.n_app_nodes:
+            raise PodError(f"node {node_index} is not an application node")
+        if node_index in self.dead_nodes:
+            return
+        agent = self.agents[node_index]
+        node = self.nodes[node_index]
+        self.links[node_index].down = True
+        agent.crash()
+        for pod in list(agent.pods.values()):
+            self.destroy_pod(pod)
+        # Packet-filter rules are kernel state; power loss clears them.
+        node.stack.netfilter.rules.clear()
+        self.dead_nodes.add(node_index)
+        self.spans.instant("node.crash", node=node.name)
+        self.trace.emit(self.sim.now, "node_crash", node=node.name)
+
+    def revive_node(self, node_index: int) -> None:
+        """Power the node back on: link up, agent accepting traffic.
+
+        The revived node rejoins empty (its pods died with it); the
+        supervisor marks it alive again at its next heartbeat and new
+        placements can use it.
+        """
+        if node_index not in self.dead_nodes:
+            return
+        node = self.nodes[node_index]
+        self.links[node_index].down = False
+        self.agents[node_index].revive()
+        self.dead_nodes.discard(node_index)
+        self.spans.instant("node.revive", node=node.name)
+        self.trace.emit(self.sim.now, "node_revive", node=node.name)
 
     # -- control-plane faults and coordinator replacement -------------------
 
@@ -184,6 +280,15 @@ class CruzCluster(Cluster):
             early_network=early_network, concurrent=concurrent))
         return self.run_until_complete(task, limit=limit)
 
+    def destroy_pod(self, pod: Pod) -> None:
+        """Destroy one pod in place, silently (no FIN/RST to peers)."""
+        scrub_pod_network(pod)
+        pod.kill_all()
+        uninstall_pod(pod)
+        agent = self._agent_for(pod.node.name)
+        if agent is not None:
+            agent.unregister_pod(pod.name)
+
     def crash_app(self, app: DistributedApp) -> None:
         """Destroy the app's pods in place (simulating node failures).
 
@@ -191,12 +296,32 @@ class CruzCluster(Cluster):
         when a machine loses power.
         """
         for pod in app.pods:
-            scrub_pod_network(pod)
-            pod.kill_all()
-            uninstall_pod(pod)
-            agent = self._agent_for(pod.node.name)
-            if agent is not None:
-                agent.unregister_pod(pod.name)
+            self.destroy_pod(pod)
+
+    def repoint_app(self, app: DistributedApp,
+                    members: Optional[Sequence] = None) -> List[Pod]:
+        """Re-point ``app.pods`` at the recreated pods after a restart.
+
+        Every member must have a live replacement registered with some
+        healthy agent; otherwise :class:`RestartMismatchError` names the
+        missing members and ``app.pods`` is left untouched — a partial
+        membership must never be silently adopted.
+        """
+        if members is None:
+            members = [(pod.node.stack.eth0.ip, pod.name)
+                       for pod in app.pods]
+        new_pods, missing = [], []
+        for _ip, pod_name in members:
+            for agent in self.agents:
+                if not agent.crashed and pod_name in agent.pods:
+                    new_pods.append(agent.pods[pod_name])
+                    break
+            else:
+                missing.append(pod_name)
+        if missing:
+            raise RestartMismatchError(app.name, missing)
+        app.pods = new_pods
+        return new_pods
 
     def restart_app(self, app: DistributedApp,
                     node_indices: Optional[Sequence[int]] = None,
@@ -204,7 +329,8 @@ class CruzCluster(Cluster):
         """Coordinated restart from the stored images.
 
         ``node_indices`` may place pods on different nodes than before
-        (migration across the subnet, §4.2).
+        (migration across the subnet, §4.2), including consolidating
+        every pod onto a single surviving node.
         """
         if node_indices is None:
             members = [(pod.node.stack.eth0.ip, pod.name)
@@ -215,19 +341,21 @@ class CruzCluster(Cluster):
         task = self.sim.process(self.coordinator.restart(
             app.name, members, version=version))
         stats = self.run_until_complete(task, limit=limit)
-        # Re-point the app at the recreated pods.
-        new_pods = []
-        for _ip, pod_name in members:
-            for agent in self.agents:
-                if pod_name in agent.pods:
-                    new_pods.append(agent.pods[pod_name])
-                    break
-        app.pods = new_pods
+        self.repoint_app(app, members)
         return stats
 
     def migrate_pod(self, pod: Pod, target_node_index: int,
                     limit: float = 1e6) -> Pod:
-        """Live-migrate one pod: checkpoint, kill, restart on the target."""
+        """Live-migrate one pod: checkpoint, kill, restart on the target.
+
+        If the target-node restore fails after the source pod was
+        destroyed, the pod is rolled back — restored from the same
+        committed image on its source node — and a typed
+        :class:`MigrationError` reports the restorable version. Either
+        way ``app.pods`` stays consistent: it points at the rolled-back
+        pod, or (if even the rollback failed) the member is removed
+        rather than left dangling.
+        """
         source_agent = self._agent_for(pod.node.name)
         target_agent = self.agents[target_node_index]
         engine = source_agent.checkpoint_engine
@@ -250,13 +378,44 @@ class CruzCluster(Cluster):
                 source_agent.unregister_pod(pod.name)
             finally:
                 source_node.stack.netfilter.remove_rule(rule_id)
-            restored = yield from target_agent.restart_engine.restart(
-                image, target_agent.node, resume=True)
+            try:
+                restored = yield from target_agent.restart_engine.restart(
+                    image, target_agent.node, resume=True)
+            except Exception as error:  # noqa: BLE001 - engine failure
+                # The source pod is already gone; the committed image is
+                # the only copy. Try to restore it where it came from.
+                try:
+                    fallback = yield from \
+                        source_agent.restart_engine.restart(
+                            image, source_node, resume=True)
+                except Exception as rollback_error:  # noqa: BLE001
+                    failure = MigrationError(
+                        pod.name, image.version, target_agent.node.name,
+                        error, rolled_back=False)
+                    failure.rollback_error = rollback_error
+                    raise failure from error
+                source_agent.register_pod(fallback)
+                failure = MigrationError(
+                    pod.name, image.version, target_agent.node.name,
+                    error, rolled_back=True)
+                failure.pod = fallback
+                raise failure from error
             target_agent.register_pod(restored)
             return restored
 
         task = self.sim.process(sequence(), name=f"migrate({pod.name})")
-        new_pod = self.run_until_complete(task, limit=limit)
+        try:
+            new_pod = self.run_until_complete(task, limit=limit)
+        except MigrationError as failure:
+            fallback = getattr(failure, "pod", None)
+            for app in self.apps.values():
+                if fallback is not None:
+                    app.pods = [fallback if p.name == failure.pod_name
+                                else p for p in app.pods]
+                else:
+                    app.pods = [p for p in app.pods
+                                if p.name != failure.pod_name]
+            raise
         for app in self.apps.values():
             app.pods = [new_pod if p.name == new_pod.name else p
                         for p in app.pods]

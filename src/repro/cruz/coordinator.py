@@ -129,6 +129,25 @@ class CheckpointCoordinator:
             if not collector["event"].triggered:
                 collector["event"].fail(CoordinationError(reason))
 
+    def in_flight_epochs(self) -> List[int]:
+        """Epochs of rounds this coordinator is currently driving."""
+        return sorted(self._collectors)
+
+    def fail_in_flight(self, reason: str) -> List[int]:
+        """Fail every in-flight round (node-death declaration path).
+
+        The supervisor calls this when it declares a node dead: a round
+        waiting on that node's <done> would otherwise burn its full
+        timeout before aborting. Each failed round runs its normal
+        abort path (WAL decide + best-effort ABORT broadcast), so
+        survivors discard their half-round images. Returns the epochs
+        failed.
+        """
+        epochs = self.in_flight_epochs()
+        for epoch in epochs:
+            self._fail_epoch(epoch, reason)
+        return epochs
+
     def _on_message(self, payload: ControlMessage,
                     _src_ip: Ipv4Address) -> None:
         if payload.kind == protocol.ABORT:

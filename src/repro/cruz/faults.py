@@ -1,4 +1,4 @@
-"""Control-plane fault injection: drop/duplicate/delay/reorder datagrams.
+"""Fault injection: control-plane datagram faults and data-plane chaos.
 
 The reliability machinery in :class:`repro.cruz.protocol.ReliableEndpoint`
 only earns its keep if rounds *commit* under a lossy control plane, so the
@@ -14,14 +14,20 @@ delay | pass]``, so the categories are mutually exclusive per datagram and
 the expected loss rate equals ``drop`` exactly. Delayed (and the second
 copy of duplicated) datagrams are re-injected after ``delay_s`` plus a
 uniform jitter, which also reorders them relative to later traffic.
+
+Beyond the control plane, :class:`ChaosInjector` schedules *data-plane*
+faults against the whole cluster on the simulator clock: node crashes
+(power loss), link flaps, and network partitions — all from one seeded
+schedule, so a chaos run replays bit-for-bit from its seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, List, Optional
+from typing import Callable, FrozenSet, List, Optional, Sequence
 
 from repro.cruz.protocol import ControlMessage
+from repro.net.packet import IpPacket
 from repro.sim.core import Simulator
 
 
@@ -123,3 +129,199 @@ class ControlFaultInjector:
             break  # matched, drew "clean": first matching plan decides
         self.passed += 1
         return False
+
+
+class Partition:
+    """A two-sided network partition, enforced at the links.
+
+    Frames whose IP source and destination fall on opposite sides are
+    dropped by the member nodes' links (counted in
+    ``Link.frames_dropped`` like any data-plane loss). Membership is
+    captured at install time from each side's node addresses plus the
+    pods currently registered there; ARP and other non-IP traffic is
+    left alone (reachability leaks nothing — data does not cross).
+    """
+
+    def __init__(self, cluster, group_a: Sequence[int],
+                 group_b: Sequence[int]):
+        self.cluster = cluster
+        self.group_a = tuple(group_a)
+        self.group_b = tuple(group_b)
+        self._ips_a = set()
+        self._ips_b = set()
+        #: link -> the drop_fn it had before the partition.
+        self._previous: List = []
+        self.healed = False
+
+    def _side_ips(self, indices: Sequence[int]):
+        ips = set()
+        for index in indices:
+            node = self.cluster.nodes[index]
+            ips.add(node.stack.eth0.ip)
+            agents = getattr(self.cluster, "agents", ())
+            if index < len(agents):
+                for pod in agents[index].pods.values():
+                    ips.add(pod.ip)
+        return ips
+
+    def _crosses(self, frame) -> bool:
+        packet = frame.payload
+        if not isinstance(packet, IpPacket):
+            return False
+        return ((packet.src in self._ips_a and packet.dst in self._ips_b)
+                or (packet.src in self._ips_b
+                    and packet.dst in self._ips_a))
+
+    def install(self) -> None:
+        # Membership is captured now (not at schedule time) so pods
+        # created in the meantime are partitioned with their nodes.
+        self._ips_a = self._side_ips(self.group_a)
+        self._ips_b = self._side_ips(self.group_b)
+        for index in self.group_a + self.group_b:
+            link = self.cluster.links[index]
+            previous = link.drop_fn
+            self._previous.append((link, previous))
+
+            def drop(frame, _previous=previous):
+                if self._crosses(frame):
+                    return True
+                return _previous(frame) if _previous is not None \
+                    else False
+
+            link.drop_fn = drop
+
+    def heal(self) -> None:
+        if self.healed:
+            return
+        self.healed = True
+        for link, previous in self._previous:
+            link.drop_fn = previous
+
+
+class ChaosInjector:
+    """Seeded data-plane fault schedules: crashes, flaps, partitions.
+
+    All randomness comes from one named stream of the cluster's seeded
+    :class:`~repro.sim.rand.RandomStreams`, and every draw happens at
+    *schedule* time (fixed program order), so a chaos run replays
+    bit-for-bit from its seed. Executed events are recorded in ``log``
+    with their simulated timestamps.
+    """
+
+    def __init__(self, cluster, rng=None):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.rng = rng if rng is not None \
+            else cluster.random.stream("chaos")
+        self.log: List[dict] = []
+        self.node_crashes = 0
+        self.link_flaps = 0
+        self.partitions = 0
+
+    def _record(self, kind: str, **details) -> None:
+        self.log.append({"at": self.sim.now, "kind": kind, **details})
+
+    # -- node power ---------------------------------------------------------
+
+    def schedule_node_crash(self, node_index: int, at: float,
+                            revive_after: Optional[float] = None,
+                            jitter_s: float = 0.0) -> float:
+        """Crash a node at ``at`` (+ seeded jitter); optionally revive.
+
+        Returns the actual crash time so callers can line further chaos
+        up against it.
+        """
+        crash_at = at + (self.rng.random() * jitter_s if jitter_s else 0.0)
+
+        def crash() -> None:
+            self.node_crashes += 1
+            self._record("crash_node", node=node_index)
+            self.cluster.crash_node(node_index)
+
+        self.sim.call_at(crash_at, crash)
+        if revive_after is not None:
+            def revive() -> None:
+                self._record("revive_node", node=node_index)
+                self.cluster.revive_node(node_index)
+
+            self.sim.call_at(crash_at + revive_after, revive)
+        return crash_at
+
+    def schedule_node_crash_mid_round(self, node_index: int, after: float,
+                                      within_s: float = 0.006,
+                                      poll_s: float = 0.001,
+                                      revive_after: Optional[float] = None,
+                                      ) -> None:
+        """Crash a node *during* a checkpoint round — the worst moment.
+
+        Arms at ``after``; once the coordinator has a round in flight,
+        crashes ``node_index`` a seeded ``[0, within_s)`` into it. Round
+        start times drift with workload timing, so a fixed-clock crash
+        cannot reliably land mid-save; polling the coordinator's
+        in-flight set (every ``poll_s``, event-driven and deterministic)
+        can. The offset is drawn at schedule time like every other
+        chaos draw.
+        """
+        offset = self.rng.random() * within_s
+
+        def trigger():
+            if self.sim.now < after:
+                yield self.sim.timeout(after - self.sim.now)
+            coordinator = self.cluster.coordinator
+            while not coordinator.in_flight_epochs():
+                yield self.sim.timeout(poll_s)
+            epochs = coordinator.in_flight_epochs()
+            yield self.sim.timeout(offset)
+            self.node_crashes += 1
+            self._record("crash_node", node=node_index, mid_round=epochs)
+            self.cluster.crash_node(node_index)
+            if revive_after is not None:
+                yield self.sim.timeout(revive_after)
+                self._record("revive_node", node=node_index)
+                self.cluster.revive_node(node_index)
+
+        self.sim.process(trigger(), name=f"chaos-crash-node{node_index}")
+
+    # -- links --------------------------------------------------------------
+
+    def schedule_link_flap(self, node_index: int, at: float,
+                           duration_s: float,
+                           jitter_s: float = 0.0) -> float:
+        """Take one node's link down for ``duration_s``; returns start."""
+        start = at + (self.rng.random() * jitter_s if jitter_s else 0.0)
+
+        def down() -> None:
+            self.link_flaps += 1
+            self._record("link_down", node=node_index)
+            self.cluster.links[node_index].down = True
+
+        def up() -> None:
+            self._record("link_up", node=node_index)
+            self.cluster.links[node_index].down = False
+
+        self.sim.call_at(start, down)
+        self.sim.call_at(start + duration_s, up)
+        return start
+
+    # -- partitions ---------------------------------------------------------
+
+    def schedule_partition(self, group_a: Sequence[int],
+                           group_b: Sequence[int], at: float,
+                           duration_s: float) -> Partition:
+        """Partition two node groups for ``duration_s`` seconds."""
+        partition = Partition(self.cluster, group_a, group_b)
+
+        def install() -> None:
+            self.partitions += 1
+            self._record("partition", group_a=list(partition.group_a),
+                         group_b=list(partition.group_b))
+            partition.install()
+
+        def heal() -> None:
+            self._record("heal", group_a=list(partition.group_a),
+                         group_b=list(partition.group_b))
+            partition.heal()
+
+        self.sim.call_at(at, install)
+        self.sim.call_at(at + duration_s, heal)
+        return partition

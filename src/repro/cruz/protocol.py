@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 AGENT_PORT = 7601
 COORDINATOR_PORT = 7602
+SUPERVISOR_PORT = 7603
 
 CHECKPOINT = "CHECKPOINT"
 RESTART = "RESTART"
@@ -39,6 +40,14 @@ CONTINUE_DONE = "CONTINUE_DONE"
 ABORT = "ABORT"
 #: Transport-level acknowledgement; never part of the Fig. 2 flow.
 ACK = "ACK"
+#: Liveness beacon from an agent to the node supervisor. Deliberately
+#: fire-and-forget: a lost beat IS the failure signal, so heartbeats are
+#: neither ACKed, retransmitted, nor duplicate-suppressed (their ``epoch``
+#: field carries a per-sender sequence number, reused every round).
+HEARTBEAT = "HEARTBEAT"
+
+#: Kinds delivered without the ACK/retransmit/dedup machinery.
+UNACKED_KINDS = frozenset({HEARTBEAT})
 
 
 @dataclass(frozen=True)
@@ -240,6 +249,12 @@ class ReliableEndpoint:
     def _transmit(self, dst_ip, dst_port: int,
                   message: "ControlMessage") -> None:
         """One physical datagram, routed through the fault injector."""
+        if not self._is_alive():
+            # A crashed participant transmits nothing: retransmit loops
+            # already in flight fall silent instead of leaking frames
+            # from a powered-off node.
+            return
+
         def put() -> None:
             self.node.stack.udp.send(
                 self.node.stack.eth0.ip, self.port, dst_ip, dst_port,
@@ -248,6 +263,16 @@ class ReliableEndpoint:
         if self.faults is not None and self.faults.apply(message, put):
             return
         put()
+
+    def send_unreliable(self, dst_ip, dst_port: int,
+                        message: "ControlMessage") -> None:
+        """One datagram, no ACK, no retransmission (heartbeats).
+
+        The message still passes through the fault injector, so chaos
+        plans can drop or delay liveness beacons like any other control
+        traffic.
+        """
+        self._transmit(dst_ip, dst_port, message)
 
     def send(self, dst_ip, dst_port: int, message: "ControlMessage",
              on_give_up: Optional[Callable[["ControlMessage"], None]]
@@ -311,6 +336,12 @@ class ReliableEndpoint:
 
     def _on_datagram(self, payload, src_ip, src_port, _dst_ip) -> None:
         if not self._is_alive() or not isinstance(payload, ControlMessage):
+            return
+        if payload.kind in UNACKED_KINDS:
+            # Fire-and-forget kinds bypass ACK generation and duplicate
+            # suppression: every received beat must reach the handler
+            # (the sequence number repeats across heartbeat intervals).
+            self.handler(payload, src_ip)
             return
         if payload.kind == ACK:
             self.acks_received += 1

@@ -203,6 +203,69 @@ class RoundLog:
                 if self.outcome(epoch) is None]
 
 
+class LivenessLog:
+    """Write-ahead log of node liveness transitions in the shared FS.
+
+    The node supervisor records every death declaration and every
+    rejoin (``down``/``up``) as a tiny pickled record, sequence-numbered
+    so ordering survives a supervisor restart: a replacement supervisor
+    constructed over the same store inherits each node's last known
+    state through :meth:`last_states` instead of waiting a full lease
+    period to rediscover dead nodes.
+    """
+
+    UP, DOWN = "up", "down"
+
+    def __init__(self, fs: SharedFileSystem,
+                 root: str = "/checkpoints/.liveness"):
+        self.fs = fs
+        self.root = root
+        self._next_seq = self._scan_next_seq()
+
+    def _scan_next_seq(self) -> int:
+        highest = 0
+        prefix = f"{self.root}/t"
+        for path in self.fs.listdir(prefix):
+            tail = path[len(prefix):]
+            stem = tail.split(".", 1)[0]
+            if stem.isdigit():
+                highest = max(highest, int(stem))
+        return highest + 1
+
+    def log(self, node_name: str, state: str, at: float = 0.0,
+            reason: str = "", source: str = "") -> Dict:
+        if state not in (self.UP, self.DOWN):
+            raise CheckpointError(f"unknown liveness state {state!r}")
+        record = {"seq": self._next_seq, "node": node_name,
+                  "state": state, "at": at, "reason": reason,
+                  "source": source}
+        path = f"{self.root}/t{self._next_seq:010d}.rec"
+        self._next_seq += 1
+        blob = freeze_object(record)
+        self.fs.create(path)
+        self.fs.write_at(path, 0, blob)
+        return record
+
+    def records(self) -> List[Dict]:
+        """Every transition, in log order."""
+        out = []
+        for path in sorted(self.fs.listdir(f"{self.root}/t")):
+            out.append(thaw_object(
+                self.fs.read_at(path, 0, self.fs.size(path))))
+        return sorted(out, key=lambda record: record["seq"])
+
+    def transitions(self, node_name: str) -> List[Dict]:
+        return [record for record in self.records()
+                if record["node"] == node_name]
+
+    def last_states(self) -> Dict[str, str]:
+        """node name -> last logged ``up``/``down`` state."""
+        states: Dict[str, str] = {}
+        for record in self.records():
+            states[record["node"]] = record["state"]
+        return states
+
+
 class ChunkStore:
     """Content-addressed, refcounted chunks in the shared filesystem."""
 
@@ -332,6 +395,8 @@ class ImageStore:
         self.chunks.sanitizer = sanitizer
         #: Coordination-round WAL, shared (like the images) by every node.
         self.rounds = RoundLog(fs, root=f"{root}/.rounds")
+        #: Node-liveness WAL (supervisor death/rejoin declarations).
+        self.liveness = LivenessLog(fs, root=f"{root}/.liveness")
         self._latest: Dict[str, int] = {}
         self._attached = False
         self.last_plan: Optional[SavePlan] = None

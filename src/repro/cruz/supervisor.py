@@ -1,0 +1,463 @@
+"""Node supervisor: heartbeat failure detector and automatic failover.
+
+The paper's headline use case (§1, §4.2) is surviving node failure:
+after a crash, pods restart from the last committed checkpoint on
+*surviving* nodes. The protocol machinery (coordinated restart, WAL,
+image versioning) has always been here; this module adds the part that
+*notices* failures and decides to recover, in the shape DMTCP-style
+user-level coordinators use:
+
+* every agent sends periodic fire-and-forget ``HEARTBEAT`` beacons
+  (seeded jitter, so beats never collide on a simulator instant);
+* the :class:`NodeSupervisor` keeps a per-node lease on the simulator
+  clock and declares a node **dead** after ``lease_misses`` worst-case
+  beat intervals of silence;
+* every ``up``/``down`` transition is written ahead to the shared-store
+  :class:`~repro.cruz.storage.LivenessLog`, so a restarted supervisor
+  inherits the cluster's liveness map instead of rediscovering it;
+* a death declaration fails the coordinator's in-flight rounds (their
+  normal abort path makes survivors discard half-round images), then
+  drives per-app failover: pick the newest committed checkpoint version
+  shared by every member, ``verify_image`` each member image, place the
+  dead node's pods on surviving nodes (least-loaded, lowest index wins
+  ties), and run a coordinated restart — retrying with backoff if the
+  chosen target dies mid-failover.
+
+Every failover phase is recorded as spans (``failover`` with children
+``failover.verify`` / ``failover.place`` / ``failover.restart``, plus
+the detached ``failover.detect`` opened at first suspicion), so MTTR
+and its breakdown are measured, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.cruz import protocol
+from repro.cruz.protocol import (
+    SUPERVISOR_PORT,
+    ControlMessage,
+    ReliableEndpoint,
+)
+from repro.cruz.storage import LivenessLog
+from repro.errors import (
+    CoordinationError,
+    FailoverError,
+    RestartMismatchError,
+)
+from repro.net.addresses import Ipv4Address
+from repro.zap.verify import verify_image
+
+
+@dataclass
+class NodeLease:
+    """Detector-side liveness state for one watched node."""
+
+    index: int
+    name: str
+    #: Simulator time of the most recent beat (or of registration).
+    last_beat: float = 0.0
+    beats: int = 0
+    alive: bool = True
+    #: Set when the node first misses a worst-case beat interval.
+    suspect_since: Optional[float] = None
+    #: Open ``failover.detect`` span while suspect (detached).
+    detect_span: object = None
+
+
+@dataclass
+class FailoverRecord:
+    """One completed automatic failover, with its span-derived phases."""
+
+    app: str
+    dead_node: str
+    version: int
+    attempts: int
+    #: pod name -> node name it was restarted on.
+    placement: Dict[str, str] = field(default_factory=dict)
+    #: First missed beat (detection starts the MTTR clock).
+    suspected_at: float = 0.0
+    #: Death declaration (detect phase ends here).
+    declared_at: float = 0.0
+    #: Restart round committed, pods serving again.
+    completed_at: float = 0.0
+    detect_s: float = 0.0
+    verify_s: float = 0.0
+    place_s: float = 0.0
+    restart_s: float = 0.0
+
+    @property
+    def mttr_s(self) -> float:
+        """Detection -> serving (§1's recovery-time story)."""
+        return self.completed_at - self.suspected_at
+
+    def phases(self) -> Dict[str, float]:
+        return {"detect": self.detect_s, "verify": self.verify_s,
+                "place": self.place_s, "restart": self.restart_s,
+                "total": self.mttr_s}
+
+
+class NodeSupervisor:
+    """Watches agent heartbeats; declares deaths; drives failover.
+
+    Runs on the coordinator node (its own ``ReliableEndpoint`` on
+    ``SUPERVISOR_PORT``) so, like the coordinator, it survives any
+    application-node failure.
+    """
+
+    def __init__(self, cluster, node=None,
+                 heartbeat_interval_s: float = 0.05,
+                 heartbeat_jitter_s: float = 0.01,
+                 lease_misses: int = 3,
+                 auto_failover: bool = True,
+                 max_restart_attempts: int = 3,
+                 retry_backoff_s: float = 0.25,
+                 settle_s: float = 0.02):
+        self.cluster = cluster
+        self.node = node if node is not None else cluster.coordinator_node
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_jitter_s = heartbeat_jitter_s
+        self.lease_misses = lease_misses
+        self.auto_failover = auto_failover
+        self.max_restart_attempts = max_restart_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.settle_s = settle_s
+        self.liveness: LivenessLog = cluster.store.liveness
+        self.leases: Dict[int, NodeLease] = {}
+        self.heartbeats_received = 0
+        self.deaths: List[Dict] = []
+        self.failovers: List[FailoverRecord] = []
+        self.failures: List[FailoverError] = []
+        self._active_failovers: Set[str] = set()
+        self._monitoring = False
+        #: Last logged state per node, inherited from the liveness WAL —
+        #: a replacement supervisor starts knowing who is already dead.
+        self._inherited = self.liveness.last_states()
+        self.endpoint = ReliableEndpoint(
+            self.node, SUPERVISOR_PORT, self._on_message,
+            faults=getattr(cluster, "fault_injector", None),
+            name=f"supervisor@{self.node.name}")
+
+    # -- lease bookkeeping -------------------------------------------------
+
+    @property
+    def _sim(self):
+        return self.node.sim
+
+    @property
+    def _spans(self):
+        return self.node.trace.spans
+
+    def _worst_case_beat_s(self) -> float:
+        return self.heartbeat_interval_s + self.heartbeat_jitter_s
+
+    def watch(self, node_index: int) -> NodeLease:
+        """Start tracking one application node's liveness."""
+        name = self.cluster.nodes[node_index].name
+        lease = NodeLease(index=node_index, name=name,
+                          last_beat=self._sim.now)
+        if self._inherited.get(name) == LivenessLog.DOWN:
+            lease.alive = False
+        self.leases[node_index] = lease
+        return lease
+
+    def start(self, monitor_interval_s: Optional[float] = None) -> None:
+        """Launch the monitor loop (idempotent)."""
+        if self._monitoring:
+            return
+        self._monitoring = True
+        interval = (monitor_interval_s if monitor_interval_s is not None
+                    else self.heartbeat_interval_s)
+        self._sim.process(self._monitor_loop(interval),
+                          name=f"supervisor@{self.node.name}")
+
+    def close(self) -> None:
+        """Stop receiving (supervisor crash / replacement)."""
+        self.endpoint.close()
+
+    def _on_message(self, payload: ControlMessage,
+                    _src_ip: Ipv4Address) -> None:
+        if payload.kind != protocol.HEARTBEAT:
+            return
+        self.heartbeats_received += 1
+        self.node.trace.metrics.counter("supervisor.heartbeats").inc(
+            label=payload.node_name)
+        for lease in self.leases.values():
+            if lease.name == payload.node_name:
+                self._renew(lease)
+                return
+
+    def _renew(self, lease: NodeLease) -> None:
+        lease.last_beat = self._sim.now
+        lease.beats += 1
+        if lease.suspect_since is not None:
+            # False alarm: the beat arrived before the lease expired.
+            self._spans.end(lease.detect_span, declared=False)
+            lease.suspect_since = None
+            lease.detect_span = None
+        if not lease.alive:
+            lease.alive = True
+            self.liveness.log(lease.name, LivenessLog.UP,
+                              at=self._sim.now, reason="heartbeat resumed",
+                              source=self.node.name)
+            self._spans.instant("supervisor.rejoin", node=self.node.name,
+                                subject=lease.name)
+            self.node.trace.emit(self._sim.now, "node_rejoin",
+                                 node=self.node.name, subject=lease.name)
+
+    def _monitor_loop(self, interval: float) -> Generator:
+        sim = self._sim
+        while True:
+            yield sim.timeout(interval)
+            for index in sorted(self.leases):
+                lease = self.leases[index]
+                if not lease.alive:
+                    continue
+                silence = sim.now - lease.last_beat
+                if silence <= self._worst_case_beat_s():
+                    continue
+                if lease.suspect_since is None:
+                    lease.suspect_since = sim.now
+                    # Detached: the suspicion overlaps normal coordinator
+                    # work on this node; it must not adopt children.
+                    lease.detect_span = self._spans.begin(
+                        "failover.detect", node=self.node.name,
+                        subject=lease.name, attach=False, orphan=True)
+                if silence > self.lease_misses * self._worst_case_beat_s():
+                    self._declare_dead(lease)
+
+    # -- death declaration -------------------------------------------------
+
+    def _declare_dead(self, lease: NodeLease) -> None:
+        sim = self._sim
+        lease.alive = False
+        suspected_at = (lease.suspect_since if lease.suspect_since
+                        is not None else sim.now)
+        if lease.detect_span is not None:
+            self._spans.end(lease.detect_span, declared=True)
+        lease.detect_span = None
+        lease.suspect_since = None
+        reason = (f"no heartbeat from {lease.name} for "
+                  f"{sim.now - lease.last_beat:.3f}s")
+        self.liveness.log(lease.name, LivenessLog.DOWN, at=sim.now,
+                          reason=reason, source=self.node.name)
+        self.node.trace.metrics.counter("supervisor.deaths").inc(
+            label=lease.name)
+        self._spans.instant("supervisor.death", node=self.node.name,
+                            subject=lease.name)
+        self.node.trace.emit(sim.now, "node_death", node=self.node.name,
+                             subject=lease.name, reason=reason)
+        self.deaths.append({"node": lease.name, "at": sim.now,
+                            "reason": reason})
+        # Rounds waiting on the dead node's <done> must not burn their
+        # full timeout: fail them now so survivors discard half-round
+        # images before failover picks a version.
+        self.cluster.coordinator.fail_in_flight(
+            f"node {lease.name} declared dead")
+        if not self.auto_failover:
+            return
+        for app_name in sorted(self.cluster.apps):
+            app = self.cluster.apps[app_name]
+            if not any(pod.node.name == lease.name for pod in app.pods):
+                continue
+            if app.name in self._active_failovers:
+                continue
+            self._active_failovers.add(app.name)
+            sim.process(
+                self._failover(app, lease, suspected_at),
+                name=f"failover({app.name})")
+
+    # -- failover ----------------------------------------------------------
+
+    def _failover(self, app, lease: NodeLease,
+                  suspected_at: float) -> Generator:
+        sim = self._sim
+        declared_at = sim.now
+        # orphan: a concurrent (aborting) round may have spans open on
+        # this node; adopting one as parent would let its end() cascade-
+        # close the failover spans and zero the phase durations.
+        root = self._spans.begin("failover", node=self.node.name,
+                                 app=app.name, dead=lease.name,
+                                 attach=False, orphan=True)
+        try:
+            verify_span = self._spans.begin(
+                "failover.verify", node=self.node.name, app=app.name,
+                parent=root, attach=False)
+            # Let the aborted rounds settle: an abort in flight may still
+            # be discarding an uncommitted version from the store.
+            while self.cluster.store.rounds.in_flight():
+                yield sim.timeout(self.settle_s)
+            yield sim.timeout(self.settle_s)
+            version = yield from self._choose_version(app)
+            self._spans.end(verify_span, version=version)
+
+            place_span = self._spans.begin(
+                "failover.place", node=self.node.name, app=app.name,
+                parent=root, attach=False)
+            placement = self._place(app)
+            self._spans.end(place_span)
+
+            restart_span = self._spans.begin(
+                "failover.restart", node=self.node.name, app=app.name,
+                parent=root, attach=False)
+            attempts = 0
+            while True:
+                attempts += 1
+                self._destroy_members(app)
+                members = [
+                    (self.cluster.nodes[placement[pod.name]]
+                     .stack.eth0.ip, pod.name)
+                    for pod in app.pods]
+                try:
+                    yield from self.cluster.coordinator.restart(
+                        app.name, members, version=version)
+                    break
+                except CoordinationError as error:
+                    if attempts >= self.max_restart_attempts:
+                        raise FailoverError(
+                            app.name,
+                            f"restart failed after {attempts} "
+                            f"attempt(s): {error}",
+                            version=version, attempts=attempts)
+                    # Cascading failure: the chosen target may itself
+                    # have died. Back off (lets the aborted round's
+                    # cleanup land and the monitor declare new deaths),
+                    # then re-place on whoever still holds a lease.
+                    yield sim.timeout(self.retry_backoff_s * attempts)
+                    placement = self._place(app)
+            self._spans.end(restart_span, attempts=attempts)
+            self.cluster.repoint_app(app, members)
+            record = FailoverRecord(
+                app=app.name, dead_node=lease.name, version=version,
+                attempts=attempts,
+                placement={pod_name: self.cluster.nodes[index].name
+                           for pod_name, index in placement.items()},
+                suspected_at=suspected_at, declared_at=declared_at,
+                completed_at=sim.now,
+                detect_s=declared_at - suspected_at,
+                verify_s=verify_span.duration,
+                place_s=place_span.duration,
+                restart_s=restart_span.duration)
+            self.failovers.append(record)
+            self.node.trace.metrics.histogram("failover.mttr_s").observe(
+                record.mttr_s)
+            self.node.trace.emit(sim.now, "failover", node=self.node.name,
+                                 app=app.name, version=version,
+                                 attempts=attempts, mttr=record.mttr_s)
+        except (FailoverError, RestartMismatchError) as error:
+            failure = error if isinstance(error, FailoverError) else \
+                FailoverError(app.name, str(error))
+            self.failures.append(failure)
+            self.node.trace.metrics.counter("failover.failures").inc(
+                label=app.name)
+            self._spans.instant("failover.failed", node=self.node.name,
+                                app=app.name, reason=str(failure))
+            self.node.trace.emit(sim.now, "failover_failed",
+                                 node=self.node.name, app=app.name,
+                                 reason=str(failure))
+        finally:
+            self._spans.end(root)
+            self._active_failovers.discard(app.name)
+
+    def _choose_version(self, app) -> Generator:
+        """Newest committed version every member has, verified green.
+
+        Charges simulated disk-read time for each image inspected, so
+        the ``failover.verify`` span measures real work.
+        """
+        store = self.cluster.store
+        costs = self.node.costs
+        member_names = [pod.name for pod in app.pods]
+        common = None
+        for name in member_names:
+            versions = set(store.versions(name))
+            common = versions if common is None else common & versions
+        if not common:
+            raise FailoverError(
+                app.name, "no committed checkpoint version shared by "
+                          f"members {member_names}")
+        rejected = []
+        for version in sorted(common, reverse=True):
+            all_green = True
+            for name in member_names:
+                image = store.load(name, version)
+                yield self._sim.timeout(
+                    image.state_bytes / costs.disk_read_bandwidth)
+                report = verify_image(image)
+                if not report.ok:
+                    rejected.append((version, name, report.problems))
+                    all_green = False
+                    break
+            if all_green:
+                return version
+        raise FailoverError(
+            app.name, f"no stored version passes verification "
+                      f"(rejected: {rejected})")
+
+    def _node_alive(self, index: int) -> bool:
+        lease = self.leases.get(index)
+        if lease is not None:
+            return lease.alive
+        return not self.cluster.agents[index].crashed
+
+    def _place(self, app) -> Dict[str, int]:
+        """pod name -> target node index; least-loaded, index tie-break.
+
+        Pods whose home node still holds a lease stay put; the dead
+        node's pods go to the surviving node currently hosting the
+        fewest pods (excluding this app's own members, which are about
+        to be destroyed and re-placed), lowest index winning ties.
+        """
+        cluster = self.cluster
+        candidates = [i for i in range(cluster.n_app_nodes)
+                      if self._node_alive(i)]
+        if not candidates:
+            raise FailoverError(
+                app.name, "no surviving capacity: every app node is dead")
+        member_names = {pod.name for pod in app.pods}
+        load = {i: sum(1 for name in cluster.agents[i].pods
+                       if name not in member_names)
+                for i in candidates}
+        by_name = {node.name: index
+                   for index, node in enumerate(cluster.nodes)}
+        placement = {}
+        for pod in app.pods:
+            home = by_name.get(pod.node.name)
+            if home in candidates:
+                target = home
+            else:
+                target = min(candidates, key=lambda i: (load[i], i))
+            placement[pod.name] = target
+            load[target] += 1
+        return placement
+
+    def _destroy_members(self, app) -> None:
+        """Destroy any member pod still registered on a live agent.
+
+        Covers the surviving original pods before the first restart
+        attempt, and stragglers from an aborted attempt before a retry
+        (their agents normally clean up on ABORT; this is the backstop).
+        """
+        for pod in app.pods:
+            for agent in self.cluster.agents:
+                if agent.crashed:
+                    continue
+                registered = agent.pods.get(pod.name)
+                if registered is not None:
+                    self.cluster.destroy_pod(registered)
+
+    def failover_active(self, app_name: str) -> bool:
+        """True while an automatic failover of ``app_name`` is running."""
+        return app_name in self._active_failovers
+
+    # -- reporting ---------------------------------------------------------
+
+    def lease_table(self) -> List[Dict]:
+        """Plain-data liveness snapshot (CLI/debugging)."""
+        now = self._sim.now
+        return [{"node": lease.name, "alive": lease.alive,
+                 "beats": lease.beats,
+                 "silence_s": now - lease.last_beat,
+                 "suspect": lease.suspect_since is not None}
+                for _index, lease in sorted(self.leases.items())]

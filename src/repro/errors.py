@@ -45,5 +45,61 @@ class CoordinationError(ReproError):
     """The distributed checkpoint/restart protocol failed or timed out."""
 
 
+class RestartMismatchError(CoordinationError):
+    """A restart round committed but some members never re-registered.
+
+    Carries ``missing`` (pod names without a live replacement) so callers
+    know exactly which members to recover by hand; ``app.pods`` is left
+    untouched rather than silently re-pointed at a partial membership.
+    """
+
+    def __init__(self, app_name, missing, message=""):
+        self.app_name = app_name
+        self.missing = list(missing)
+        super().__init__(
+            message or f"restart of {app_name!r} left members "
+                       f"{self.missing} unregistered")
+
+
+class FailoverError(CoordinationError):
+    """Automatic failover could not recover an app.
+
+    Raised (and recorded by the supervisor) when no committed checkpoint
+    version exists for every member, no surviving node has capacity, or
+    every restart attempt exhausted its retry budget.
+    """
+
+    def __init__(self, app_name, reason, version=None, attempts=0):
+        self.app_name = app_name
+        self.reason = reason
+        self.version = version
+        self.attempts = attempts
+        super().__init__(f"failover of {app_name!r} failed: {reason}")
+
+
 class PodError(ReproError):
     """Pod management failure (unknown pod, double attach, ...)."""
+
+
+class MigrationError(PodError):
+    """Live migration failed after the source pod was destroyed.
+
+    The checkpoint image named by ``version`` is committed in the shared
+    store and remains restorable; ``rolled_back`` reports whether the pod
+    was automatically re-restored on its source node (leaving the app
+    consistent) or must be restored by hand.
+    """
+
+    def __init__(self, pod_name, version, target_node, cause,
+                 rolled_back=False):
+        self.pod_name = pod_name
+        self.version = version
+        self.target_node = target_node
+        self.cause = cause
+        self.rolled_back = rolled_back
+        state = ("rolled back to its source node" if rolled_back
+                 else "NOT running anywhere")
+        super().__init__(
+            f"migration of {pod_name!r} to {target_node} failed "
+            f"({cause!r}); committed image v{version} remains "
+            f"restorable, pod {state}")

@@ -43,13 +43,21 @@ class Port:
 
 
 class Link:
-    """A full-duplex cable between two ports."""
+    """A full-duplex cable between two ports.
+
+    With a telemetry hub attached (``trace=``), dropped frames feed the
+    ``link.frames_dropped`` counter (labelled per link) and up/down
+    transitions are recorded as ``link.down``/``link.up`` span instants
+    plus the ``link.links_down`` gauge — so chaos runs show data-plane
+    loss in ``repro trace`` output. ``link.down = True`` keeps working as
+    a plain attribute assignment.
+    """
 
     def __init__(self, sim: Simulator, a: Port, b: Port,
                  bandwidth_bps: float = GIGABIT,
                  latency_s: float = 5e-6,
                  drop_fn: Optional[Callable[[EthernetFrame], bool]] = None,
-                 name: str = ""):
+                 name: str = "", trace=None):
         if a.link is not None or b.link is not None:
             raise NetworkError("port already cabled")
         self.sim = sim
@@ -59,11 +67,37 @@ class Link:
         self.latency_s = latency_s
         self.drop_fn = drop_fn
         self.name = name or f"{a.name}<->{b.name}"
-        self.down = False
+        self.trace = trace
+        self._down = False
         self.frames_dropped = 0
         self._busy_until = {id(a): 0.0, id(b): 0.0}
         a.link = self
         b.link = self
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    @down.setter
+    def down(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._down:
+            return
+        self._down = value
+        if self.trace is not None:
+            self.trace.metrics.gauge("link.links_down").add(
+                1 if value else -1)
+            self.trace.spans.instant(
+                "link.down" if value else "link.up", link=self.name)
+            self.trace.emit(self.sim.now,
+                            "link_down" if value else "link_up",
+                            link=self.name)
+
+    def _drop(self, frame: EthernetFrame) -> None:
+        self.frames_dropped += 1
+        if self.trace is not None:
+            self.trace.metrics.counter("link.frames_dropped").inc(
+                label=self.name)
 
     def send(self, frame: EthernetFrame, source: Port) -> None:
         """Queue ``frame`` for transmission from ``source``'s side."""
@@ -73,8 +107,9 @@ class Link:
             destination = self.a
         else:
             raise NetworkError(f"{source!r} is not on link {self.name}")
-        if self.down or (self.drop_fn is not None and self.drop_fn(frame)):
-            self.frames_dropped += 1
+        if self._down or (self.drop_fn is not None
+                          and self.drop_fn(frame)):
+            self._drop(frame)
             return
         start = max(self.sim.now, self._busy_until[id(source)])
         finish = start + frame.size * 8.0 / self.bandwidth_bps
@@ -83,7 +118,7 @@ class Link:
         self.sim.call_at(arrival, self._arrive, frame, destination)
 
     def _arrive(self, frame: EthernetFrame, destination: Port) -> None:
-        if self.down:
-            self.frames_dropped += 1
+        if self._down:
+            self._drop(frame)
             return
         destination.deliver(frame)

@@ -127,16 +127,20 @@ class SpanRecorder:
 
     def begin(self, name: str, node: str = "",
               parent: Optional[Span] = None, attach: bool = True,
-              **attrs: Any) -> Span:
+              orphan: bool = False, **attrs: Any) -> Span:
         """Open a span. ``attach=False`` keeps it off the ambient stack
         (its children must name it via ``parent=`` explicitly) — used for
-        waits that overlap concurrent work on the same node."""
+        waits that overlap concurrent work on the same node.
+        ``orphan=True`` additionally refuses the ambient stack top as an
+        implicit parent: the span is a root even if unrelated work is
+        open on the same node — otherwise closing that unrelated span
+        would cascade-close this one (``end`` closes open descendants)."""
         span = Span(self._next_id, name, node, self._clock(), attrs=attrs)
         self._next_id += 1
         if not self.enabled:
             return span
         stack = self._stacks.setdefault(node, [])
-        if parent is None and stack:
+        if parent is None and not orphan and stack:
             parent = stack[-1]
         if parent is not None:
             span.parent_id = parent.span_id

@@ -205,3 +205,32 @@ def test_cli_analyze_determinism_json(capsys):
     assert doc["command"] == "analyze"
     assert doc["deterministic"] is True
     assert doc["divergences"] == []
+
+
+def test_parser_knows_chaos():
+    parser = build_parser()
+    args = parser.parse_args(["chaos", "--seed", "3"])
+    assert callable(args.fn)
+    assert args.seed == 3 and args.json is False
+
+
+def test_cli_chaos_self_heals(capsys):
+    assert main(["chaos", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos: PASS" in out
+    assert "mttr=" in out
+    assert "sanitizer: clean" in out
+
+
+def test_cli_chaos_json_reports_mttr_phases(capsys):
+    assert main(["chaos", "--seed", "7", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "chaos"
+    assert doc["ok"] is True
+    assert doc["mttr_s"] > 0
+    phases = doc["result"]["failovers"][0]["phases"]
+    assert set(phases) == {"detect", "verify", "place", "restart",
+                           "total"}
+    assert phases["detect"] > 0 and phases["restart"] > 0
+    assert doc["result"]["sanitizer_violations"] == 0
+    assert doc["result"]["rounds_aborted"] >= 1

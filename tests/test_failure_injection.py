@@ -242,6 +242,86 @@ def test_send_failure_surfaces_as_coordination_error_with_node():
     assert cluster.store.rounds.outcome(epoch) == "abort"
 
 
+def test_consolidation_failover_onto_single_node():
+    """Restart every pod of a 2-node app on ONE surviving node: images
+    verify green, TCP sessions resume, output stays bit-exact."""
+    import numpy as np
+    from repro.zap.verify import verify_image
+    from tests.test_apps import assemble_field
+
+    steps = 60
+    cluster = make_cluster(3)
+    app = cluster.launch_app_factory(
+        "slm", 2, slm_factory(2, global_rows=16, cols=24, steps=steps,
+                              total_work_s=6.0), node_indices=[0, 1])
+    cluster.run_for(0.8)
+    stats = cluster.checkpoint_app(app)
+    assert stats.committed
+    version = cluster.store.latest_version(app.pods[0].name)
+    for pod in app.pods:
+        assert verify_image(cluster.store.load(pod.name, version)).ok
+
+    cluster.crash_app(app)
+    cluster.restart_app(app, node_indices=[2, 2], version=version)
+    assert all(pod.node is cluster.nodes[2] for pod in app.pods)
+    assert all(pod.name in cluster.agents[2].pods for pod in app.pods)
+    run_app_to_completion(cluster, app)
+    field = assemble_field(cluster.app_programs(app))
+    np.testing.assert_array_equal(field,
+                                  reference_solution(16, 24, steps))
+
+
+def test_migration_failure_rolls_back_to_source_node():
+    """Regression (S1): a failed target restore must not leave the pod
+    dead and ``app.pods`` dangling — it rolls back onto the source node
+    and the typed error names the committed, restorable version."""
+    from repro.errors import MigrationError
+
+    cluster = make_cluster(3)
+    app = ring_app(cluster, 2)
+    cluster.run_for(0.2)
+    victim = app.pods[0]
+
+    def exploding_restart(image, node, resume=True):
+        raise RuntimeError("target node out of memory")
+        yield  # pragma: no cover - generator shape
+
+    cluster.agents[2].restart_engine.restart = exploding_restart
+    with pytest.raises(MigrationError) as info:
+        cluster.migrate_pod(victim, target_node_index=2)
+    error = info.value
+    assert error.rolled_back
+    assert error.pod_name == victim.name
+    assert f"v{error.version}" in str(error)
+    # The committed image the message names really is restorable.
+    assert error.version in cluster.store.versions(victim.name)
+    # app.pods points at the rolled-back pod, live on its source node.
+    fallback = app.pods[0]
+    assert fallback.name == victim.name
+    assert fallback.node is cluster.nodes[0]
+    assert fallback.name in cluster.agents[0].pods
+    assert any(p.is_alive for p in fallback.processes())
+    run_app_to_completion(cluster, app)
+    validate_ring(workers_of(cluster, app))
+
+
+def test_restart_mismatch_names_missing_members():
+    """Regression (S2): re-pointing an app at a partial membership must
+    raise, naming the missing members, and leave ``app.pods`` alone."""
+    from repro.errors import RestartMismatchError
+
+    cluster = make_cluster(2)
+    app = ring_app(cluster, 2)
+    cluster.run_for(0.2)
+    assert cluster.checkpoint_app(app).committed
+    pods_before = list(app.pods)
+    cluster.crash_app(app)                 # nothing re-registered yet
+    with pytest.raises(RestartMismatchError) as info:
+        cluster.repoint_app(app)
+    assert set(info.value.missing) == {p.name for p in pods_before}
+    assert app.pods == pods_before         # untouched, not partial
+
+
 def test_checkpoint_storm_every_100ms():
     """Aggressive checkpointing must not corrupt or wedge the app."""
     cluster = make_cluster(2)
