@@ -16,8 +16,9 @@ CRZ004    netfilter install (``drop_all_for``) not paired with a
 CRZ005    ``spans.begin(...)`` in a function with no matching
           ``.end(...)`` call (prefer the ``spans.span`` context
           manager)
-CRZ006    ``id()``-based ordering (sort keys, comparisons, heap
-          entries) — allocation addresses are not deterministic
+CRZ006    ``id()``-based ordering or keying (sort keys, comparisons,
+          heap entries, dict subscripts/lookups) — allocation
+          addresses are not deterministic
 ========  ==========================================================
 
 Any violation can be suppressed on its line with ``# cruz: noqa`` (all
@@ -62,9 +63,10 @@ RULES: Dict[str, tuple] = {
         "call .end(...) in a finally",
     ),
     "CRZ006": (
-        "id()-based ordering",
-        "id() is an allocation address and varies run to run; order by "
-        "a stable key (name, sequence number) instead",
+        "id()-based ordering or keying",
+        "id() is an allocation address and varies run to run; order or "
+        "key by a stable value (name, sequence number, attribute) "
+        "instead",
     ),
 }
 
@@ -269,11 +271,27 @@ class _Linter(ast.NodeVisitor):
             for arg in node.args:
                 if _contains(arg, lambda n: _is_call_to(n, "id")):
                     self._flag(node, "CRZ006")
+        # Mapping lookups keyed on id(): d.get(id(x)) / d.pop(id(x)) /
+        # d.setdefault(id(x), ...). The key survives in iteration order
+        # and dumps, so it is ordering by another name.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("get", "pop", "setdefault")
+                and node.args
+                and _contains(node.args[0],
+                              lambda n: _is_call_to(n, "id"))):
+            self._flag(node, "CRZ006")
 
-    # -- CRZ006: id() in comparisons ------------------------------------
+    # -- CRZ006: id() in comparisons and subscripts ----------------------
 
     def visit_Compare(self, node: ast.Compare) -> None:
         if _contains(node, lambda n: _is_call_to(n, "id")):
+            self._flag(node, "CRZ006")
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # d[id(x)] on either side of an assignment: an id()-keyed dict
+        # iterates (and checkpoints) in allocation order.
+        if _contains(node.slice, lambda n: _is_call_to(n, "id")):
             self._flag(node, "CRZ006")
         self.generic_visit(node)
 

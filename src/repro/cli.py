@@ -185,14 +185,29 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench import regression
-    if args.save:
-        status = regression.save_baseline(args.baseline)
+    if args.suite == "simcore":
+        from repro.bench import simcore
+        baseline = args.baseline or simcore.DEFAULT_BASELINE
+        workload = {"n_nodes": args.nodes, "n_flows": args.flows,
+                    "segments_per_flow": args.segments}
+        if args.save:
+            status = simcore.save_baseline(baseline, **workload)
+        else:
+            status = simcore.check(baseline,
+                                   min_speedup=args.min_speedup,
+                                   tolerance=args.tolerance,
+                                   **workload)
     else:
-        status = regression.check_regression(args.baseline,
-                                             tolerance=args.tolerance)
+        from repro.bench import regression
+        baseline = args.baseline or "benchmarks/BENCH_fig5.json"
+        if args.save:
+            status = regression.save_baseline(baseline)
+        else:
+            status = regression.check_regression(baseline,
+                                                 tolerance=args.tolerance)
     if args.json:
-        _emit_json({"command": "bench", "baseline": args.baseline,
+        _emit_json({"command": "bench", "suite": args.suite,
+                    "baseline": baseline,
                     "ok": status == 0, "exit_status": status})
     return status
 
@@ -403,15 +418,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", parents=[common],
-        help="Fig. 5 benchmark wall-clock regression guard")
+        help="wall-clock regression guards (fig5 round time, "
+             "simcore events/sec)")
+    bench.add_argument("suite", nargs="?", default="fig5",
+                       choices=["fig5", "simcore"],
+                       help="fig5: checkpoint-round wall clock; "
+                            "simcore: scheduler events/sec speedup")
     bench.add_argument("--save", action="store_true",
                        help="record a new baseline instead of comparing")
     bench.add_argument("--compare", action="store_true",
                        help="compare against the baseline (default)")
-    bench.add_argument("--baseline",
-                       default="benchmarks/BENCH_fig5.json")
+    bench.add_argument("--baseline", default="",
+                       help="baseline JSON path (default per suite)")
     bench.add_argument("--tolerance", type=float, default=0.2,
-                       help="allowed fractional slowdown (default 0.2)")
+                       help="allowed fractional regression (default 0.2)")
+    bench.add_argument("--nodes", type=int, default=128,
+                       help="simcore: cluster size (default 128)")
+    bench.add_argument("--flows", type=int, default=2000,
+                       help="simcore: TCP flow count (default 2000)")
+    bench.add_argument("--segments", type=int, default=100,
+                       help="simcore: storm segments per flow "
+                            "(default 100)")
+    bench.add_argument("--min-speedup", type=float, default=5.0,
+                       help="simcore: required fast/legacy storm "
+                            "speedup (default 5.0)")
     bench.set_defaults(fn=_cmd_bench)
 
     lint = sub.add_parser(

@@ -35,6 +35,13 @@ class Cluster:
     the paper's single-subnet requirement for migration (§4.2).
     """
 
+    #: Scheduler presets: ``fast`` is the production configuration
+    #: (calendar event queue, slotted timer wheel, batched link/switch
+    #: delivery); ``legacy`` is the pre-refactor discipline (monolithic
+    #: heap, exact per-timer events, one arrival event per frame) kept
+    #: as the simcore benchmark's baseline and as a bit-exact reference.
+    SCHEDULERS = ("fast", "legacy")
+
     def __init__(self, n_nodes: int, seed: int = 0,
                  costs: CostModel = DEFAULT_COSTS,
                  trace_enabled: bool = True,
@@ -44,8 +51,17 @@ class Cluster:
                  cpus_per_node: int = 2,
                  nic_supports_multiple_macs: bool = True,
                  tiebreak: str = "fifo",
-                 sanitize: Optional[bool] = None):
-        self.sim = Simulator(tiebreak=tiebreak)
+                 sanitize: Optional[bool] = None,
+                 scheduler: str = "fast",
+                 link_coalesce_s: float = 0.0):
+        if scheduler not in self.SCHEDULERS:
+            raise ValueError(f"unknown scheduler preset {scheduler!r}")
+        fast = scheduler == "fast"
+        self.scheduler = scheduler
+        self.sim = Simulator(tiebreak=tiebreak,
+                             queue="calendar" if fast else "heap",
+                             slotted_timers=fast, lightweight=fast,
+                             leaky_cancel=not fast)
         self.random = RandomStreams(seed)
         self.trace = Trace(enabled=trace_enabled)
         self.trace.attach_clock(lambda: self.sim.now)
@@ -60,7 +76,7 @@ class Cluster:
         self.fs = SharedFileSystem()
         self.costs = costs
         self.subnet = Subnet(Ipv4Address.parse("10.1.0.0"), 16)
-        self.switch = Switch(self.sim, "switch0")
+        self.switch = Switch(self.sim, "switch0", direct=not fast)
         self.nodes: List[Node] = []
         self.links: List[Link] = []
         self.dhcp_server: Optional[DhcpServer] = None
@@ -77,7 +93,8 @@ class Cluster:
             self.links.append(Link(
                 self.sim, nic.port, self.switch.new_port(),
                 bandwidth_bps=bandwidth_bps, latency_s=latency_s,
-                name=f"node{index}<->switch", trace=self.trace))
+                name=f"node{index}<->switch", trace=self.trace,
+                coalesce_s=link_coalesce_s, direct=not fast))
             self.nodes.append(node)
 
     # -- address allocation -------------------------------------------------
@@ -140,11 +157,13 @@ class Cluster:
         """Advance time until ``predicate()`` holds.
 
         Event-aware: the predicate is re-checked after each simulator
-        event batch (all events sharing a timestamp), so the wait returns
-        at the exact event time that made it true instead of at the next
-        fixed-step boundary. ``step`` is only the fallback stride when
-        the event queue is empty and only wall-clock progress (pure time
-        predicates) can change the answer.
+        event batch (all events sharing a timestamp — with batched link
+        delivery, a whole burst of frames delivered by one arrival event
+        counts as one batch), so the wait returns at the exact event
+        time that made it true instead of at the next fixed-step
+        boundary, without paying a predicate call per frame. ``step`` is
+        only the fallback stride when the event queue is empty and only
+        wall-clock progress (pure time predicates) can change the answer.
         """
         while not predicate():
             if self.sim.now > limit:
@@ -166,3 +185,7 @@ class Cluster:
             "frames_flooded": self.switch.frames_flooded,
             "fs_bytes_written": self.fs.bytes_written,
         }
+
+    def scheduler_stats(self) -> Dict[str, object]:
+        """Event-queue and timer-wheel counters (``Simulator.stats()``)."""
+        return self.sim.stats()

@@ -12,15 +12,70 @@ from typing import Iterator
 from repro.errors import NetworkError
 
 
-@dataclass(frozen=True, order=True)
-class MacAddress:
+class _Address:
+    """Shared machinery for int-valued address types.
+
+    These were frozen dataclasses, but addresses key every ARP cache,
+    switch table and TCP demux map — the generated tuple-building
+    ``__eq__``/``__hash__`` showed up in simcore profiles. The hash is
+    computed once at construction; comparisons are raw int compares.
+    Value-based equality is load-bearing: addresses round-trip through
+    pickled checkpoint images and must still match live ones.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __eq__(self, other):
+        if other.__class__ is self.__class__:
+            return other.value == self.value
+        return NotImplemented
+
+    def __ne__(self, other):
+        if other.__class__ is self.__class__:
+            return other.value != self.value
+        return NotImplemented
+
+    def __lt__(self, other):
+        if other.__class__ is self.__class__:
+            return self.value < other.value
+        return NotImplemented
+
+    def __le__(self, other):
+        if other.__class__ is self.__class__:
+            return self.value <= other.value
+        return NotImplemented
+
+    def __gt__(self, other):
+        if other.__class__ is self.__class__:
+            return self.value > other.value
+        return NotImplemented
+
+    def __ge__(self, other):
+        if other.__class__ is self.__class__:
+            return self.value >= other.value
+        return NotImplemented
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return f"{self.__class__.__name__}(value={self.value})"
+
+    def __reduce__(self):
+        # Re-validate and re-hash on unpickle/deepcopy via __init__.
+        return (self.__class__, (self.value,))
+
+
+class MacAddress(_Address):
     """A 48-bit Ethernet address."""
 
-    value: int
+    __slots__ = ()
 
-    def __post_init__(self):
-        if not 0 <= self.value < 1 << 48:
-            raise NetworkError(f"MAC out of range: {self.value:#x}")
+    def __init__(self, value: int):
+        if not 0 <= value < 1 << 48:
+            raise NetworkError(f"MAC out of range: {value:#x}")
+        self.value = value
+        self._hash = hash(value)
 
     @classmethod
     def parse(cls, text: str) -> "MacAddress":
@@ -46,15 +101,16 @@ class MacAddress:
 BROADCAST_MAC = MacAddress((1 << 48) - 1)
 
 
-@dataclass(frozen=True, order=True)
-class Ipv4Address:
+class Ipv4Address(_Address):
     """A 32-bit IPv4 address."""
 
-    value: int
+    __slots__ = ()
 
-    def __post_init__(self):
-        if not 0 <= self.value < 1 << 32:
-            raise NetworkError(f"IPv4 out of range: {self.value:#x}")
+    def __init__(self, value: int):
+        if not 0 <= value < 1 << 32:
+            raise NetworkError(f"IPv4 out of range: {value:#x}")
+        self.value = value
+        self._hash = hash(value)
 
     @classmethod
     def parse(cls, text: str) -> "Ipv4Address":

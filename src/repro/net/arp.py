@@ -34,6 +34,11 @@ class ArpService:
         self.request_timeout_s = request_timeout_s
         self.cache: Dict[Ipv4Address, MacAddress] = {}
         self._pending: Dict[Ipv4Address, List[Event]] = {}
+        #: Bumped on every cache mutation; the network stack's route
+        #: cache keys its validity on this (plus interface/netfilter
+        #: versions), so gratuitous ARP after a migration invalidates
+        #: stale cached routes immediately.
+        self.version = 0
 
     def lookup(self, ip: Ipv4Address) -> Optional[MacAddress]:
         return self.cache.get(ip)
@@ -73,6 +78,7 @@ class ArpService:
         # Learn the sender mapping opportunistically; this is also how
         # gratuitous ARP announcements take effect.
         self.cache[packet.sender_ip] = packet.sender_mac
+        self.version += 1
         waiters = self._pending.pop(packet.sender_ip, [])
         for event in waiters:
             if not event.triggered:
@@ -102,3 +108,4 @@ class ArpService:
 
     def evict(self, ip: Ipv4Address) -> None:
         self.cache.pop(ip, None)
+        self.version += 1

@@ -8,8 +8,9 @@ for transmission time the way a gigabit NIC would.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from enum import IntFlag
+from functools import cached_property
 from typing import Optional, Tuple, Union
 
 from repro.net.addresses import Ipv4Address, MacAddress
@@ -44,31 +45,47 @@ class TcpFlags(IntFlag):
     ACK = 16
 
 
-@dataclass(frozen=True)
+#: Plain-int flag masks for the per-segment hot path. ``IntFlag``
+#: operators dispatch through enum machinery (``__and__`` + member
+#: ``__call__``) which showed up as whole percents of simcore runtime;
+#: ``int & int`` is a single C-level op. ``TcpSegment.flags`` accepts
+#: either form — ``describe()`` re-wraps for display.
+TCP_FIN = 1
+TCP_SYN = 2
+TCP_RST = 4
+TCP_PSH = 8
+TCP_ACK = 16
+
+
 class TcpSegment:
-    """A TCP segment; ``seq`` numbers the first payload byte."""
+    """A TCP segment; ``seq`` numbers the first payload byte.
 
-    src_port: int
-    dst_port: int
-    seq: int
-    ack: int
-    flags: TcpFlags
-    window: int
-    payload: bytes = b""
+    A plain ``__slots__`` class, not a dataclass: segments are created
+    once per transmission on the simulator's hottest path, so ``size``
+    and ``seq_len`` are precomputed ints and construction is a handful
+    of slot stores. Instances are treated as immutable by convention.
+    """
 
-    @property
-    def size(self) -> int:
-        return TCP_HEADER_BYTES + len(self.payload)
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "window",
+                 "payload", "size", "seq_len")
 
-    @property
-    def seq_len(self) -> int:
-        """Sequence space consumed: payload bytes plus SYN/FIN."""
-        length = len(self.payload)
-        if self.flags & TcpFlags.SYN:
-            length += 1
-        if self.flags & TcpFlags.FIN:
-            length += 1
-        return length
+    def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
+                 flags: int, window: int, payload: bytes = b""):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+        length = len(payload)
+        #: Wire size in bytes (header + payload).
+        self.size = TCP_HEADER_BYTES + length
+        #: Sequence space consumed: payload bytes plus SYN/FIN.
+        if flags & 3:               # SYN and/or FIN each consume one
+            length += (1 if flags & TCP_SYN else 0) \
+                + (1 if flags & TCP_FIN else 0)
+        self.seq_len = length
 
     def describe(self) -> str:
         names = [flag.name for flag in TcpFlags
@@ -76,6 +93,9 @@ class TcpSegment:
         return (f"TCP {self.src_port}->{self.dst_port} "
                 f"[{'|'.join(names) or '.'}] seq={self.seq} ack={self.ack} "
                 f"len={len(self.payload)}")
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
 
 
 @dataclass(frozen=True)
@@ -87,7 +107,7 @@ class UdpDatagram:
     payload: object = b""
     payload_size: Optional[int] = None
 
-    @property
+    @cached_property
     def size(self) -> int:
         if self.payload_size is not None:
             return UDP_HEADER_BYTES + self.payload_size
@@ -96,19 +116,23 @@ class UdpDatagram:
         return UDP_HEADER_BYTES + 64
 
 
-@dataclass(frozen=True)
 class IpPacket:
-    """An IPv4 packet carrying TCP or UDP."""
+    """An IPv4 packet carrying TCP or UDP (plain slots, hot path)."""
 
-    src: Ipv4Address
-    dst: Ipv4Address
-    protocol: int
-    payload: Union[TcpSegment, UdpDatagram]
-    ttl: int = 64
+    __slots__ = ("src", "dst", "protocol", "payload", "ttl", "size")
 
-    @property
-    def size(self) -> int:
-        return IP_HEADER_BYTES + self.payload.size
+    def __init__(self, src: Ipv4Address, dst: Ipv4Address, protocol: int,
+                 payload: Union[TcpSegment, UdpDatagram], ttl: int = 64):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.payload = payload
+        self.ttl = ttl
+        self.size = IP_HEADER_BYTES + payload.size
+
+    def __repr__(self) -> str:
+        return (f"<IpPacket {self.src}->{self.dst} "
+                f"proto={self.protocol} {self.size}B>")
 
 
 ARP_REQUEST = 1
@@ -125,27 +149,34 @@ class ArpPacket:
     target_mac: Optional[MacAddress]
     target_ip: Ipv4Address
 
-    @property
+    @cached_property
     def size(self) -> int:
         return ARP_BODY_BYTES
 
 
-@dataclass(frozen=True)
 class EthernetFrame:
     """An Ethernet frame. ``frame_id`` makes traces unambiguous."""
 
-    src: MacAddress
-    dst: MacAddress
-    ethertype: int
-    payload: Union[IpPacket, ArpPacket]
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = ("src", "dst", "ethertype", "payload", "frame_id", "size")
 
-    @property
-    def size(self) -> int:
-        return ETHERNET_HEADER_BYTES + self.payload.size
+    def __init__(self, src: MacAddress, dst: MacAddress, ethertype: int,
+                 payload: Union[IpPacket, ArpPacket],
+                 frame_id: Optional[int] = None):
+        self.src = src
+        self.dst = dst
+        self.ethertype = ethertype
+        self.payload = payload
+        self.frame_id = next(_frame_ids) if frame_id is None else frame_id
+        self.size = ETHERNET_HEADER_BYTES + payload.size
 
     def with_payload(self, payload) -> "EthernetFrame":
-        return replace(self, payload=payload)
+        return EthernetFrame(src=self.src, dst=self.dst,
+                             ethertype=self.ethertype, payload=payload,
+                             frame_id=self.frame_id)
+
+    def __repr__(self) -> str:
+        return (f"<EthernetFrame #{self.frame_id} {self.src}->{self.dst} "
+                f"{self.size}B>")
 
 
 def tcp_frame(src_mac: MacAddress, dst_mac: MacAddress,

@@ -3,11 +3,19 @@
 Implements source-address learning with flooding for unknown/broadcast
 destinations — all that is needed for the paper's single-subnet cluster and
 for gratuitous-ARP-driven re-learning after a pod migrates to another port.
+
+Forwarding is batched: ingress frames wait in one FIFO of (due, frame,
+ingress) and a single armed drain event forwards every frame that is due
+— a burst delivered to the switch at one instant (e.g. by a batched link
+direction) is forwarded by one event instead of one per frame.
+``direct=True`` restores per-frame forwarding events (the legacy
+scheduler preset).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Deque, Dict, List, Tuple
 
 from repro.net.addresses import MacAddress
 from repro.net.link import Port
@@ -19,14 +27,19 @@ class Switch:
     """A store-and-forward learning switch."""
 
     def __init__(self, sim: Simulator, name: str = "switch",
-                 forwarding_latency_s: float = 3e-6):
+                 forwarding_latency_s: float = 3e-6,
+                 direct: bool = False):
         self.sim = sim
         self.name = name
         self.forwarding_latency_s = forwarding_latency_s
+        self.direct = direct
         self.ports: List[Port] = []
         self.table: Dict[MacAddress, Port] = {}
         self.frames_forwarded = 0
         self.frames_flooded = 0
+        self.drain_batches = 0
+        self._pending: Deque[Tuple[float, EthernetFrame, Port]] = deque()
+        self._armed = False
 
     def new_port(self) -> Port:
         port = Port(f"{self.name}.p{len(self.ports)}", self._on_frame)
@@ -35,8 +48,32 @@ class Switch:
 
     def _on_frame(self, frame: EthernetFrame, ingress: Port) -> None:
         self.table[frame.src] = ingress
-        self.sim.call_later(
-            self.forwarding_latency_s, self._forward, frame, ingress)
+        if self.direct:
+            self.sim.call_later(
+                self.forwarding_latency_s, self._forward, frame, ingress)
+            return
+        due = self.sim.now + self.forwarding_latency_s
+        self._pending.append((due, frame, ingress))
+        if not self._armed:
+            self._armed = True
+            self.sim.defer_at(due, self._drain)
+
+    def _drain(self) -> None:
+        """Forward every due frame; keep one event armed for the rest."""
+        self._armed = False
+        now = self.sim.now
+        pending = self._pending
+        forwarded = 0
+        while pending and pending[0][0] <= now:
+            _due, frame, ingress = pending.popleft()
+            forwarded += 1
+            self._forward(frame, ingress)
+        if forwarded:
+            self.drain_batches += 1
+        if pending and not self._armed:
+            self._armed = True
+            due = pending[0][0]
+            self.sim.defer_at(due if due > now else now, self._drain)
 
     def _forward(self, frame: EthernetFrame, ingress: Port) -> None:
         egress = None if frame.dst.is_broadcast else self.table.get(frame.dst)

@@ -12,10 +12,11 @@ interleavings; seeded runs let tests replay a specific interleaving.
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+import math
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
+from repro.sim.eventq import make_queue
 
 #: Priority used for ordinary events.
 NORMAL = 1
@@ -30,7 +31,8 @@ class Event:
     processing, and is *processed* once its callbacks have run.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name",
+                 "_qentry")
 
     _PENDING = object()
 
@@ -41,6 +43,9 @@ class Event:
         self._value: Any = Event._PENDING
         self._ok = True
         self._processed = False
+        #: Back-pointer to this event's queue entry while scheduled, so
+        #: :meth:`Simulator.cancel` can reclaim the slot in O(1).
+        self._qentry = None
 
     @property
     def triggered(self) -> bool:
@@ -99,7 +104,10 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # A static name: formatting f"timeout({delay})" per event was a
+        # measurable tax on the call_later hot path; __repr__ still
+        # shows the deadline via the queue entry when one is attached.
+        super().__init__(sim, name="timeout")
         self._value = value
         self._ok = True
         sim._schedule_event(self, delay)
@@ -249,6 +257,25 @@ class SimProcess(Event):
             self.sim._schedule_event(immediate, 0.0)
 
 
+class _Callback:
+    """A bare deferred call: the lightweight alternative to an Event.
+
+    The kernel's internal hot paths (frame delivery, switch drains,
+    timer-wheel slots) schedule tens of thousands of fire-and-forget
+    callbacks that nothing ever waits on or cancels. Carrying a full
+    :class:`Event` for each — seven attributes, a callbacks list, a
+    closure — was a measurable slice of simcore runtime. A ``_Callback``
+    is just ``(fn, args)`` in the queue entry; the run loop invokes it
+    directly.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, args: tuple):
+        self.fn = fn
+        self.args = args
+
+
 class Simulator:
     """The discrete-event scheduler.
 
@@ -261,15 +288,30 @@ class Simulator:
     #: under both and diffs the results (a schedule-race detector).
     TIEBREAKS = ("fifo", "lifo")
 
-    def __init__(self, tiebreak: str = "fifo"):
+    def __init__(self, tiebreak: str = "fifo", queue: str = "calendar",
+                 slotted_timers: bool = True, lightweight: bool = True,
+                 leaky_cancel: bool = False):
         if tiebreak not in self.TIEBREAKS:
             raise SimulationError(f"unknown tiebreak {tiebreak!r}")
         self._now = 0.0
-        self._queue: List[Tuple[float, int, int, Event]] = []
-        self._sequence = 0
+        self._queue = make_queue(
+            queue, sequence_sign=1 if tiebreak == "fifo" else -1)
         self._running = False
-        self._sequence_sign = 1 if tiebreak == "fifo" else -1
         self.tiebreak = tiebreak
+        #: Whether high-churn timers (TCP) use the hashed timer wheel
+        #: (``repro.sim.timers``) or exact per-timer events; the wheel
+        #: attaches itself here lazily on first use.
+        self.slotted_timers = slotted_timers
+        self.timers = None
+        #: ``defer()`` scheduling style: lightweight bare-callback
+        #: entries (no Event object) when True, full pre-refactor
+        #: ``call_later`` Timeouts when False (the legacy preset).
+        self.lightweight = lightweight
+        #: Pre-refactor ``cancel`` semantics for the legacy baseline:
+        #: strip callbacks but leave the entry queued until its pop
+        #: time — the leak this refactor fixed, reproduced on purpose so
+        #: the simcore benchmark measures against the honest original.
+        self.leaky_cancel = leaky_cancel
 
     @property
     def now(self) -> float:
@@ -305,42 +347,105 @@ class Simulator:
         event.callbacks.append(lambda ev: fn(*args))
         return event
 
+    def defer(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` — fire-and-forget.
+
+        The lightweight sibling of :meth:`call_later`: no Event object,
+        no closure, nothing to wait on or cancel. Under the legacy
+        preset (``lightweight=False``) it degrades to ``call_later`` so
+        the benchmark baseline keeps the pre-refactor cost model.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot defer by {delay} < 0")
+        if self.lightweight:
+            self._queue.push(self._now + delay, NORMAL,
+                             _Callback(fn, args))
+        else:
+            self.call_later(delay, fn, *args)
+
+    def defer_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Absolute-time :meth:`defer` (see :meth:`call_at`)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} < now {self._now}")
+        if self.lightweight:
+            self._queue.push(when, NORMAL, _Callback(fn, args))
+        else:
+            self.call_later(when - self._now, fn, *args)
+
     def cancel(self, event: Event) -> None:
-        """Best-effort cancellation: strip the callbacks of a pending event."""
-        event.callbacks = []
+        """Cancel a scheduled event: reclaim its queue slot, strip callbacks.
+
+        The entry is tombstoned in O(1) and reclaimed lazily (or by the
+        queue's threshold-triggered compaction), so a churn of
+        armed-then-cancelled timers keeps the queue bounded instead of
+        accumulating dead events until their pop time. With
+        ``leaky_cancel=True`` (the legacy benchmark baseline) the entry
+        is left in the queue to pop as a no-op at its original time —
+        the pre-refactor behaviour, reproduced deliberately.
+        """
+        if not self.leaky_cancel:
+            entry = event._qentry
+            if entry is not None:
+                self._queue.cancel(entry)
+                event._qentry = None
+        if not event._processed:
+            event.callbacks = []
 
     # -- scheduling internals --------------------------------------------
 
     def _schedule_event(self, event: Event, delay: float,
                         priority: int = NORMAL) -> None:
-        self._sequence += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority,
-                          self._sequence_sign * self._sequence, event))
+        event._qentry = self._queue.push(self._now + delay, priority, event)
 
     def step(self) -> None:
         """Process the single next event."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        entry = self._queue.pop()
+        when = entry[0]
+        target = entry[3]
         if when < self._now:
             raise SimulationError("event queue went backwards")
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
+        if target.__class__ is _Callback:
+            target.fn(*target.args)
+            return
+        target._qentry = None
+        callbacks = target.callbacks
+        target.callbacks = None
+        target._processed = True
         for callback in callbacks:
-            callback(event)
+            callback(target)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time passes ``until``."""
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
+        limit = math.inf if until is None else until
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    self._now = until
-                    return
-                self.step()
+            # Inlined step(): one pop_due call per event replaces the
+            # len/peek/pop triple — this loop is the simulator's single
+            # hottest path.
+            queue = self._queue
+            pop_due = queue.pop_due
+            while True:
+                entry = pop_due(limit)
+                if entry is None:
+                    break
+                when = entry[0]
+                target = entry[3]
+                if when < self._now:
+                    raise SimulationError("event queue went backwards")
+                self._now = when
+                if target.__class__ is _Callback:
+                    target.fn(*target.args)
+                    continue
+                target._qentry = None
+                callbacks = target.callbacks
+                target.callbacks = None
+                target._processed = True
+                for callback in callbacks:
+                    callback(target)
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -350,10 +455,10 @@ class Simulator:
                            limit: float = 1e9) -> Any:
         """Run until ``process`` finishes; return its value or raise."""
         while not process.triggered:
-            if not self._queue:
+            if not len(self._queue):
                 raise SimulationError(
                     f"deadlock: {process.name!r} cannot finish")
-            if self._queue[0][0] > limit:
+            if self._queue.peek() > limit:
                 raise SimulationError(
                     f"time limit {limit} exceeded waiting for "
                     f"{process.name!r}")
@@ -363,5 +468,20 @@ class Simulator:
         return process._value
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live event, or ``inf`` if the queue is empty."""
+        return self._queue.peek()
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler counters: queue live/dead/pushed/popped, timer wheel.
+
+        ``popped`` counts live events actually processed — the events/sec
+        numerator of the simcore benchmark; ``cancelled``/``dead_popped``
+        make cancellation churn visible; ``peak_live`` bounds queue
+        growth (the 100k-timer cancellation regression test watches it).
+        """
+        stats: Dict[str, Any] = {"now": self._now,
+                                 "tiebreak": self.tiebreak}
+        stats.update(self._queue.stats())
+        if self.timers is not None:
+            stats["timers"] = self.timers.stats()
+        return stats

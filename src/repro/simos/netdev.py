@@ -44,17 +44,22 @@ class InterfaceTable:
 
     def __init__(self):
         self._interfaces: Dict[str, Interface] = {}
+        #: Bumped on add/remove (and by ``configure_eth0``); consumers
+        #: cache derived lookups (owned-IP set, routes) keyed on this.
+        self.version = 0
 
     def add(self, interface: Interface) -> Interface:
         if interface.name in self._interfaces:
             raise NetworkError(f"interface {interface.name} exists")
         self._interfaces[interface.name] = interface
+        self.version += 1
         return interface
 
     def remove(self, name: str) -> Interface:
         interface = self._interfaces.pop(name, None)
         if interface is None:
             raise NetworkError(f"no interface {name}")
+        self.version += 1
         return interface
 
     def get(self, name: str) -> Interface:

@@ -45,9 +45,12 @@ class Netfilter:
         self.rules: List[Rule] = []
         self.dropped: Dict[str, int] = {INPUT: 0, OUTPUT: 0}
         self.passed: Dict[str, int] = {INPUT: 0, OUTPUT: 0}
+        #: Bumped on rule changes; invalidates the stack's route cache.
+        self.version = 0
 
     def add_rule(self, rule: Rule) -> int:
         self.rules.append(rule)
+        self.version += 1
         return rule.rule_id
 
     def drop_all_for(self, ip: Ipv4Address) -> int:
@@ -58,6 +61,7 @@ class Netfilter:
         for index, rule in enumerate(self.rules):
             if rule.rule_id == rule_id:
                 del self.rules[index]
+                self.version += 1
                 return True
         return False
 

@@ -33,6 +33,9 @@ BROADCAST_IP = Ipv4Address((1 << 32) - 1)
 #: Loopback latency for node-local traffic.
 LOOPBACK_DELAY = 2e-6
 
+#: Route-cache sentinel for node-local (loopback) destinations.
+_LOCAL_ROUTE = object()
+
 
 class NetworkStack:
     """The L2/L3 glue for one node."""
@@ -54,6 +57,18 @@ class NetworkStack:
         self.packets_sent = 0
         self.packets_received = 0
         self.packets_dropped_no_route = 0
+        # Route/flow cache: (src_ip, dst_ip) -> (src_mac, dst_mac), or
+        # the LOCAL sentinel for node-local destinations. Valid only
+        # while the (interfaces, arp, netfilter) version triple is
+        # unchanged — a migration's gratuitous ARP, a VIF add/remove or
+        # a checkpoint drop-rule each flush it wholesale. Mirrors the
+        # kernel's per-flow dst-entry cache: the full resolution walk
+        # (netfilter scan, interface scan, ARP lookup) runs once per
+        # flow, not once per packet.
+        self._routes: Dict = {}
+        self._route_epoch = (-1, -1, -1)
+        self._owned_ips: frozenset = frozenset()
+        self._owned_version = -1
 
         # The physical interface.
         self.eth0 = self.interfaces.add(
@@ -63,6 +78,9 @@ class NetworkStack:
 
     def configure_eth0(self, ip: Ipv4Address) -> None:
         self.eth0.ip = ip
+        # Mutating the interface in place bypasses InterfaceTable's
+        # add/remove hooks, so invalidate dependent caches by hand.
+        self.interfaces.version += 1
 
     def add_vif(self, name: str, ip: Ipv4Address, mac: MacAddress,
                 pod_id: int, own_wire_mac: bool = True,
@@ -95,7 +113,12 @@ class NetworkStack:
             self.arp.announce(interface.ip, interface.mac)
 
     def owns_ip(self, ip: Ipv4Address) -> bool:
-        return self.interfaces.by_ip(ip) is not None
+        if self._owned_version != self.interfaces.version:
+            self._owned_ips = frozenset(
+                iface.ip for iface in self.interfaces.all()
+                if iface.ip is not None)
+            self._owned_version = self.interfaces.version
+        return ip in self._owned_ips
 
     # -- output path -----------------------------------------------------
 
@@ -104,24 +127,49 @@ class NetworkStack:
 
     def send_packet(self, packet: IpPacket) -> None:
         """IP output: netfilter, loopback, ARP resolution, framing."""
-        if not self.netfilter.allows(packet, OUTPUT):
-            return
+        netfilter = self.netfilter
+        if netfilter.rules:
+            if not netfilter.allows(packet, OUTPUT):
+                return
+        else:
+            # No rules installed: allows() is a guaranteed pass, so skip
+            # the scan but keep the hook counter exact.
+            netfilter.passed[OUTPUT] += 1
         self.packets_sent += 1
+        epoch = (self.interfaces.version, self.arp.version)
+        if epoch != self._route_epoch:
+            self._routes.clear()
+            self._route_epoch = epoch
+        route = self._routes.get((packet.src, packet.dst))
+        if route is None:
+            self._route_and_send(packet)
+        elif route is _LOCAL_ROUTE:
+            self.sim.defer(LOOPBACK_DELAY, self._input, packet)
+        else:
+            self._send_frame_raw(EthernetFrame(
+                src=route[0], dst=route[1],
+                ethertype=ETHERTYPE_IP, payload=packet))
+
+    def _route_and_send(self, packet: IpPacket) -> None:
+        """Route-cache miss: the full resolution walk, caching the result."""
         if self.owns_ip(packet.dst):
             # Node-local delivery still traverses the input hook so pod
             # isolation works between pods on one machine.
-            self.sim.call_later(LOOPBACK_DELAY, self._input, packet)
+            self._routes[(packet.src, packet.dst)] = _LOCAL_ROUTE
+            self.sim.defer(LOOPBACK_DELAY, self._input, packet)
             return
         source_iface = self.interfaces.by_ip(packet.src)
         src_mac = source_iface.mac if source_iface is not None \
             else self.nic.primary_mac
         if packet.dst == BROADCAST_IP:
+            # Broadcasts are rare control traffic; never cached.
             self._send_frame_raw(EthernetFrame(
                 src=src_mac, dst=BROADCAST_MAC,
                 ethertype=ETHERTYPE_IP, payload=packet))
             return
         dst_mac = self.arp.lookup(packet.dst)
         if dst_mac is not None:
+            self._routes[(packet.src, packet.dst)] = (src_mac, dst_mac)
             self._send_frame_raw(EthernetFrame(
                 src=src_mac, dst=dst_mac,
                 ethertype=ETHERTYPE_IP, payload=packet))

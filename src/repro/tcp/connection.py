@@ -25,8 +25,9 @@ from typing import Callable, List, Optional
 
 from repro.errors import TcpError
 from repro.net.addresses import Ipv4Address
-from repro.net.packet import TcpFlags, TcpSegment
+from repro.net.packet import (TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN, TcpSegment)
 from repro.sim.core import Event, Simulator
+from repro.sim.timers import TimerHandle, timers_for
 from repro.tcp.buffers import ReceiveBuffer, SendBuffer
 from repro.tcp.state import (
     SYNCHRONISED_STATES,
@@ -77,15 +78,20 @@ class TcpConnection:
         self._fin_received = False
         self._dupacks = 0
         self._segments_since_ack = 0
-        self._rtx_timer: Optional[Event] = None
+        #: All connection timers live on the simulator's shared timer
+        #: wheel: arming appends to a slot (one firing event per slot,
+        #: not per segment) and cancellation is a flag write.
+        self._timers = timers_for(sim)
+        self._lazy_restart = self._timers.LAZY_RESTART
+        self._rtx_timer: Optional[TimerHandle] = None
         self._rtx_deadline = -1.0
         #: Loss-recovery window: retransmit up to here on partial ACKs.
         self._recover_until = 0
         self._recovery_started = -1.0
-        self._ack_timer: Optional[Event] = None
-        self._probe_timer: Optional[Event] = None
+        self._ack_timer: Optional[TimerHandle] = None
+        self._probe_timer: Optional[TimerHandle] = None
         self._probe_interval = 0.0
-        self._keepalive_timer: Optional[Event] = None
+        self._keepalive_timer: Optional[TimerHandle] = None
         self._keepalive_misses = 0
         self._last_activity = sim.now
         self._syn_sent_at = -1.0
@@ -122,7 +128,7 @@ class TcpConnection:
         tcb.snd_nxt = tcb.iss + 1
         tcb.state = TcpState.SYN_SENT
         self._syn_sent_at = self.sim.now
-        self._emit(TcpFlags.SYN, seq=tcb.iss)
+        self._emit(TCP_SYN, seq=tcb.iss)
         self._arm_rtx_timer()
 
     def open_passive_reply(self) -> None:
@@ -131,7 +137,7 @@ class TcpConnection:
         tcb.snd_una = tcb.iss
         tcb.snd_nxt = tcb.iss + 1
         self._syn_sent_at = self.sim.now
-        self._emit(TcpFlags.SYN | TcpFlags.ACK, seq=tcb.iss)
+        self._emit(TCP_SYN | TCP_ACK, seq=tcb.iss)
         self._arm_rtx_timer()
 
     def on_teardown(self, callback: Callable[["TcpConnection"], None]) -> None:
@@ -218,7 +224,7 @@ class TcpConnection:
         """Hard close: send RST, drop all state."""
         tcb = self.tcb
         if tcb.state in SYNCHRONISED_STATES:
-            self._emit(TcpFlags.RST | TcpFlags.ACK, seq=tcb.snd_nxt)
+            self._emit(TCP_RST | TCP_ACK, seq=tcb.snd_nxt)
         tcb.state = TcpState.CLOSED
         if not self.established_event.triggered:
             self.established_event.fail(
@@ -310,7 +316,7 @@ class TcpConnection:
         segment = self.send_buffer.segments[-1]
         segment.transmit_count = 1
         segment.last_sent_at = self.sim.now
-        self._emit(TcpFlags.ACK | TcpFlags.PSH, seq=segment.seq,
+        self._emit(TCP_ACK | TCP_PSH, seq=segment.seq,
                    payload=payload)
         tcb.snd_nxt += len(payload)
         self._arm_rtx_timer()
@@ -319,9 +325,9 @@ class TcpConnection:
     # Output path
     # ------------------------------------------------------------------
 
-    def _emit(self, flags: TcpFlags, seq: int, payload: bytes = b"") -> None:
+    def _emit(self, flags: int, seq: int, payload: bytes = b"") -> None:
         tcb = self.tcb
-        ack = tcb.rcv_nxt if flags & TcpFlags.ACK else 0
+        ack = tcb.rcv_nxt if flags & TCP_ACK else 0
         segment = TcpSegment(
             src_port=tcb.local_port, dst_port=tcb.remote_port,
             seq=seq, ack=ack, flags=flags,
@@ -373,7 +379,7 @@ class TcpConnection:
             segment = self.send_buffer.segments[-1]
             segment.transmit_count = 1
             segment.last_sent_at = self.sim.now
-            self._emit(TcpFlags.ACK | TcpFlags.PSH, seq=segment.seq,
+            self._emit(TCP_ACK | TCP_PSH, seq=segment.seq,
                        payload=payload)
             tcb.snd_nxt += len(payload)
             sent_something = True
@@ -391,7 +397,7 @@ class TcpConnection:
     def _send_fin(self) -> None:
         tcb = self.tcb
         tcb.fin_seq = tcb.snd_nxt
-        self._emit(TcpFlags.FIN | TcpFlags.ACK, seq=tcb.snd_nxt)
+        self._emit(TCP_FIN | TCP_ACK, seq=tcb.snd_nxt)
         tcb.snd_nxt += 1
         if tcb.state == TcpState.ESTABLISHED:
             tcb.state = TcpState.FIN_WAIT_1
@@ -400,7 +406,7 @@ class TcpConnection:
         self._arm_rtx_timer()
 
     def _send_ack(self) -> None:
-        self._emit(TcpFlags.ACK, seq=self.tcb.snd_nxt)
+        self._emit(TCP_ACK, seq=self.tcb.snd_nxt)
 
     # ------------------------------------------------------------------
     # Timers
@@ -411,7 +417,7 @@ class TcpConnection:
         self._cancel_ack_timer()
         self._cancel_probe_timer()
         if self._keepalive_timer is not None:
-            self.sim.cancel(self._keepalive_timer)
+            self._keepalive_timer.cancel()
             self._keepalive_timer = None
 
     # -- keepalive ---------------------------------------------------------
@@ -420,7 +426,7 @@ class TcpConnection:
         """Arm SO_KEEPALIVE probing (idle detection of dead peers)."""
         if self._keepalive_timer is not None:
             return
-        self._keepalive_timer = self.sim.call_later(
+        self._keepalive_timer = self._timers.after(
             KEEPALIVE_IDLE, self._on_keepalive_timeout)
 
     def _on_keepalive_timeout(self) -> None:
@@ -429,12 +435,12 @@ class TcpConnection:
         if tcb.state == TcpState.CLOSED or not tcb.options.keepalive:
             return
         if self.frozen:
-            self._keepalive_timer = self.sim.call_later(
+            self._keepalive_timer = self._timers.after(
                 KEEPALIVE_INTERVAL, self._on_keepalive_timeout)
             return
         idle = self.sim.now - self._last_activity
         if idle < KEEPALIVE_IDLE - 1e-9:  # epsilon: avoid FP respin
-            self._keepalive_timer = self.sim.call_later(
+            self._keepalive_timer = self._timers.after(
                 KEEPALIVE_IDLE - idle, self._on_keepalive_timeout)
             return
         if self._keepalive_misses >= KEEPALIVE_PROBES:
@@ -448,8 +454,8 @@ class TcpConnection:
         self._keepalive_misses += 1
         # The classic probe: a zero-length segment at snd_nxt - 1. It is
         # outside the peer's window, which obliges a live peer to ACK.
-        self._emit(TcpFlags.ACK, seq=tcb.snd_nxt - 1)
-        self._keepalive_timer = self.sim.call_later(
+        self._emit(TCP_ACK, seq=tcb.snd_nxt - 1)
+        self._keepalive_timer = self._timers.after(
             KEEPALIVE_INTERVAL, self._on_keepalive_timeout)
 
     def _arm_rtx_timer(self) -> None:
@@ -457,25 +463,55 @@ class TcpConnection:
                 TcpState.SYN_SENT, TcpState.SYN_RCVD):
             return
         deadline = self.sim.now + self.tcb.rto
-        if self._rtx_timer is not None and not self._rtx_timer.processed \
+        if self._rtx_timer is not None and self._rtx_timer.active \
                 and self._rtx_deadline <= deadline:
             return
         self._cancel_rtx_timer()
         self._rtx_deadline = deadline
-        self._rtx_timer = self.sim.call_later(
+        self._rtx_timer = self._timers.after(
+            self.tcb.rto, self._on_rtx_timeout)
+
+    def _restart_rtx_timer(self) -> None:
+        """Reset the RTO deadline to ``now + rto`` after an ACK.
+
+        With the timer wheel this is the kernel's ``mod_timer``
+        discipline: keep the armed slot, move only the logical
+        deadline, and let a stale firing re-arm itself for the
+        remainder — one float store per ACK instead of a cancel plus a
+        fresh timer. Under ``DirectTimers`` (the legacy scheduler
+        preset) it degrades to the pre-refactor cancel-and-re-arm so
+        the benchmark baseline keeps the old cost model.
+        """
+        deadline = self.sim.now + self.tcb.rto
+        timer = self._rtx_timer
+        if timer is not None and timer.active:
+            if self._lazy_restart and deadline >= timer.deadline:
+                self._rtx_deadline = deadline
+                return
+            timer.cancel()
+        self._rtx_deadline = deadline
+        self._rtx_timer = self._timers.after(
             self.tcb.rto, self._on_rtx_timeout)
 
     def _cancel_rtx_timer(self) -> None:
         if self._rtx_timer is not None:
-            self.sim.cancel(self._rtx_timer)
+            self._rtx_timer.cancel()
             self._rtx_timer = None
 
     def _on_rtx_timeout(self) -> None:
         self._rtx_timer = None
         tcb = self.tcb
+        remaining = self._rtx_deadline - self.sim.now
+        if remaining > 1e-12:
+            # Stale firing: ACKs pushed the logical deadline back while
+            # the original slot stayed armed (lazy restart). Re-arm for
+            # the remainder; nothing has timed out.
+            self._rtx_timer = self._timers.after(
+                remaining, self._on_rtx_timeout)
+            return
         if self.frozen:
             # The spin-lock window: defer, do not lose the timer.
-            self._rtx_timer = self.sim.call_later(
+            self._rtx_timer = self._timers.after(
                 tcb.rto, self._on_rtx_timeout)
             return
         if tcb.state == TcpState.CLOSED:
@@ -490,8 +526,8 @@ class TcpConnection:
                 tcb.state = TcpState.CLOSED
                 self._teardown()
                 return
-            flags = TcpFlags.SYN if tcb.state == TcpState.SYN_SENT \
-                else TcpFlags.SYN | TcpFlags.ACK
+            flags = TCP_SYN if tcb.state == TcpState.SYN_SENT \
+                else TCP_SYN | TCP_ACK
             self._emit(flags, seq=tcb.iss)
             self._arm_rtx_timer()
             return
@@ -499,7 +535,7 @@ class TcpConnection:
         if oldest is None and tcb.fin_seq is not None and not tcb.fin_acked:
             self.timeouts += 1
             tcb.backoff()
-            self._emit(TcpFlags.FIN | TcpFlags.ACK, seq=tcb.fin_seq)
+            self._emit(TCP_FIN | TCP_ACK, seq=tcb.fin_seq)
             self._arm_rtx_timer()
             return
         if oldest is None:
@@ -523,18 +559,18 @@ class TcpConnection:
         self.segments_retransmitted += 1
         self._note("tcp.retransmits", instant="tcp.retransmit",
                    seq=segment.seq, nbytes=len(segment.payload))
-        self._emit(TcpFlags.ACK | TcpFlags.PSH, seq=segment.seq,
+        self._emit(TCP_ACK | TCP_PSH, seq=segment.seq,
                    payload=segment.payload)
 
     def _arm_ack_timer(self) -> None:
         if self._ack_timer is not None:
             return
-        self._ack_timer = self.sim.call_later(
+        self._ack_timer = self._timers.after(
             DELAYED_ACK_DELAY, self._on_ack_timeout)
 
     def _cancel_ack_timer(self) -> None:
         if self._ack_timer is not None:
-            self.sim.cancel(self._ack_timer)
+            self._ack_timer.cancel()
             self._ack_timer = None
 
     def _on_ack_timeout(self) -> None:
@@ -550,12 +586,12 @@ class TcpConnection:
             return
         if self._probe_interval <= 0:
             self._probe_interval = max(self.tcb.rto, 0.2)
-        self._probe_timer = self.sim.call_later(
+        self._probe_timer = self._timers.after(
             self._probe_interval, self._on_probe_timeout)
 
     def _cancel_probe_timer(self) -> None:
         if self._probe_timer is not None:
-            self.sim.cancel(self._probe_timer)
+            self._probe_timer.cancel()
             self._probe_timer = None
         self._probe_interval = 0.0
 
@@ -580,7 +616,7 @@ class TcpConnection:
                 segment = self.send_buffer.segments[-1]
                 segment.transmit_count = 1
                 segment.last_sent_at = self.sim.now
-                self._emit(TcpFlags.ACK | TcpFlags.PSH, seq=segment.seq,
+                self._emit(TCP_ACK | TCP_PSH, seq=segment.seq,
                            payload=payload)
                 tcb.snd_nxt += 1
                 self._arm_rtx_timer()
@@ -590,7 +626,7 @@ class TcpConnection:
     def _enter_time_wait(self) -> None:
         self.tcb.state = TcpState.TIME_WAIT
         self._cancel_rtx_timer()
-        self.sim.call_later(self.time_wait_s, self._time_wait_expired)
+        self._timers.after(self.time_wait_s, self._time_wait_expired)
 
     def _time_wait_expired(self) -> None:
         if self.tcb.state == TcpState.TIME_WAIT:
@@ -627,27 +663,27 @@ class TcpConnection:
         state = tcb.state
         if state == TcpState.CLOSED:
             return
-        if segment.flags & TcpFlags.RST:
+        if segment.flags & TCP_RST:
             self._on_rst(segment)
             return
         if state == TcpState.SYN_SENT:
             self._on_segment_syn_sent(segment)
             return
-        if state == TcpState.SYN_RCVD and segment.flags & TcpFlags.SYN:
+        if state == TcpState.SYN_RCVD and segment.flags & TCP_SYN:
             # Duplicate SYN: re-send SYN|ACK.
-            self._emit(TcpFlags.SYN | TcpFlags.ACK, seq=tcb.iss)
+            self._emit(TCP_SYN | TCP_ACK, seq=tcb.iss)
             return
-        if segment.flags & TcpFlags.SYN and state in SYNCHRONISED_STATES:
+        if segment.flags & TCP_SYN and state in SYNCHRONISED_STATES:
             # SYN in a synchronised state: stale duplicate; ack and ignore.
             self._send_ack()
             return
-        if segment.flags & TcpFlags.ACK:
+        if segment.flags & TCP_ACK:
             self._process_ack(segment)
         if tcb.state == TcpState.CLOSED:
             return
         if segment.payload:
             self._process_payload(segment)
-        if segment.flags & TcpFlags.FIN:
+        if segment.flags & TCP_FIN:
             self._process_fin(segment)
         elif not segment.payload and segment.seq < tcb.rcv_nxt and \
                 tcb.state in SYNCHRONISED_STATES:
@@ -671,13 +707,13 @@ class TcpConnection:
 
     def _on_segment_syn_sent(self, segment: TcpSegment) -> None:
         tcb = self.tcb
-        if not segment.flags & TcpFlags.SYN:
+        if not segment.flags & TCP_SYN:
             return
         tcb.irs = segment.seq
         tcb.rcv_nxt = segment.seq + 1
         self.receive_buffer.rcv_nxt = tcb.rcv_nxt
         tcb.snd_wnd = segment.window
-        if segment.flags & TcpFlags.ACK and segment.ack == tcb.snd_nxt:
+        if segment.flags & TCP_ACK and segment.ack == tcb.snd_nxt:
             tcb.snd_una = segment.ack
             tcb.state = TcpState.ESTABLISHED
             if self._syn_sent_at >= 0:
@@ -690,7 +726,7 @@ class TcpConnection:
         else:
             # Simultaneous open.
             tcb.state = TcpState.SYN_RCVD
-            self._emit(TcpFlags.SYN | TcpFlags.ACK, seq=tcb.iss)
+            self._emit(TCP_SYN | TCP_ACK, seq=tcb.iss)
 
     def _process_ack(self, segment: TcpSegment) -> None:
         tcb = self.tcb
@@ -729,15 +765,14 @@ class TcpConnection:
             if tcb.flight_size == 0:
                 self._cancel_rtx_timer()
             else:
-                self._cancel_rtx_timer()
-                self._arm_rtx_timer()
+                self._restart_rtx_timer()
             if tcb.snd_una < self._recover_until:
                 # NewReno-style partial ACK: keep retransmitting through
                 # the loss window as cwnd allows.
                 self._retransmit_recovery_window()
             self._advance_close_states()
         elif ack == tcb.snd_una and tcb.flight_size > 0 \
-                and not segment.payload and not segment.flags & TcpFlags.FIN:
+                and not segment.payload and not segment.flags & TCP_FIN:
             self._dupacks += 1
             if self._dupacks == DUPACK_THRESHOLD:
                 self._fast_retransmit()

@@ -6,7 +6,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SyscallError, TcpError
 from repro.net.addresses import ANY_IP, Ipv4Address
-from repro.net.packet import IpPacket, PROTO_TCP, TcpFlags, TcpSegment
+from repro.net.packet import (IpPacket, PROTO_TCP, TCP_ACK, TCP_RST, TCP_SYN, TcpSegment)
 from repro.sim.core import Event, Simulator
 from repro.tcp.connection import TcpConnection
 from repro.tcp.options import SocketOptions
@@ -202,11 +202,11 @@ class TcpStack:
             return
         listener = self.listeners.get((packet.dst, segment.dst_port)) \
             or self.listeners.get((ANY_IP, segment.dst_port))
-        if listener is not None and segment.flags & TcpFlags.SYN \
-                and not segment.flags & TcpFlags.ACK:
+        if listener is not None and segment.flags & TCP_SYN \
+                and not segment.flags & TCP_ACK:
             self._passive_open(listener, packet, segment)
             return
-        if not segment.flags & TcpFlags.RST:
+        if not segment.flags & TCP_RST:
             self._send_rst(packet, segment)
 
     def _passive_open(self, listener: Listener, packet: IpPacket,
@@ -238,14 +238,14 @@ class TcpStack:
 
     def _send_rst(self, packet: IpPacket, segment: TcpSegment) -> None:
         self.rst_sent += 1
-        if segment.flags & TcpFlags.ACK:
+        if segment.flags & TCP_ACK:
             rst = TcpSegment(
                 src_port=segment.dst_port, dst_port=segment.src_port,
-                seq=segment.ack, ack=0, flags=TcpFlags.RST, window=0)
+                seq=segment.ack, ack=0, flags=TCP_RST, window=0)
         else:
             rst = TcpSegment(
                 src_port=segment.dst_port, dst_port=segment.src_port,
                 seq=0, ack=segment.seq + segment.seq_len,
-                flags=TcpFlags.RST | TcpFlags.ACK, window=0)
+                flags=TCP_RST | TCP_ACK, window=0)
         self.send_packet(IpPacket(
             src=packet.dst, dst=packet.src, protocol=PROTO_TCP, payload=rst))

@@ -155,7 +155,9 @@ class CheckpointEngine:
             ip=pod.ip, mac=pod.mac, fake_mac=pod.fake_mac,
             own_wire_mac=pod.own_wire_mac,
             next_vpid=pod._next_vpid, next_vipc=pod._next_vipc)
-        pipe_indexes: Dict[int, int] = {}
+        # Keyed by the Pipe object itself (identity hash): same dedup as
+        # id(obj) keys, but insertion-ordered by fd walk, not by address.
+        pipe_indexes: Dict[Pipe, int] = {}
         state_bytes = 0
         written_bytes = 0
 
@@ -202,7 +204,7 @@ class CheckpointEngine:
         return image
 
     def _capture_fd(self, pod: Pod, image: CheckpointImage,
-                    pipe_indexes: Dict[int, int], fd: int,
+                    pipe_indexes: Dict[Pipe, int], fd: int,
                     descriptor) -> FdImage:
         obj = descriptor.obj
         if isinstance(obj, RegularFile):
@@ -210,10 +212,10 @@ class CheckpointEngine:
                            detail={"path": obj.path, "offset": obj.offset,
                                    "file_mode": obj.mode})
         if isinstance(obj, Pipe):
-            index = pipe_indexes.get(id(obj))
+            index = pipe_indexes.get(obj)
             if index is None:
                 index = len(image.pipes)
-                pipe_indexes[id(obj)] = index
+                pipe_indexes[obj] = index
                 image.pipes.append(PipeImage(
                     index=index, buffer=bytes(obj.buffer),
                     readers=obj.readers, writers=obj.writers))

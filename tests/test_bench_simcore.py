@@ -1,0 +1,126 @@
+"""simcore benchmark: evaluate() guard logic, miniature runs, and
+scheduler-preset equivalence (the fast core must change wall-clock,
+never results)."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.ring import ring_factory
+from repro.bench.simcore import (
+    DEFAULT_STORM_WINDOW_S,
+    PRE_REFACTOR,
+    evaluate,
+    run_simcore,
+    run_storm,
+)
+from repro.cruz.cluster import CruzCluster
+
+
+def _report(storm_speedup=6.0, flows_speedup=1.4, flows=8,
+            completed=None, workload=None):
+    completed = flows if completed is None else completed
+
+    def component(speedup):
+        results = {}
+        for name in ("legacy", "fast"):
+            results[name] = {
+                "wall_s": 1.0, "events_popped": 1000,
+                "events_per_sec": 1000, "flows_completed": completed,
+            }
+        return {"results": results, "speedup": speedup,
+                "event_ratio": 2.0}
+
+    return {
+        "suite": "simcore",
+        "workload": workload or {
+            "nodes": 4, "flows": flows, "segments_per_flow": 10,
+            "storm_window_s": DEFAULT_STORM_WINDOW_S,
+            "payload_bytes": 2048, "coalesce_s": 0.0,
+        },
+        "storm": component(storm_speedup),
+        "flows": component(flows_speedup),
+        "speedup": storm_speedup,
+        "flows_speedup": flows_speedup,
+        "pre_refactor": dict(PRE_REFACTOR),
+    }
+
+
+def test_evaluate_passes_above_floor_without_baseline():
+    assert evaluate(_report(), None, min_speedup=5.0) == []
+
+
+def test_evaluate_fails_below_speedup_floor():
+    failures = evaluate(_report(storm_speedup=3.0), None, min_speedup=5.0)
+    assert any("floor" in f for f in failures)
+
+
+def test_evaluate_fails_on_baseline_regression():
+    baseline = _report(storm_speedup=8.0)
+    failures = evaluate(_report(storm_speedup=5.0), baseline,
+                        min_speedup=5.0, tolerance=0.2)
+    assert any("below the committed baseline" in f for f in failures)
+
+
+def test_evaluate_skips_ratio_guard_when_workload_differs():
+    baseline = _report(storm_speedup=20.0)
+    baseline["workload"] = dict(baseline["workload"], nodes=128)
+    failures = evaluate(_report(storm_speedup=5.0), baseline,
+                        min_speedup=5.0, tolerance=0.2)
+    assert failures == []
+
+
+def test_evaluate_fails_on_incomplete_flows():
+    failures = evaluate(_report(flows=8, completed=5), None,
+                        min_speedup=5.0)
+    assert any("completed 5 of 8" in f for f in failures)
+
+
+# ---------------------------------------------------------------------------
+# Miniature real runs: both presets simulate the same thing
+# ---------------------------------------------------------------------------
+
+def test_storm_presets_agree_on_everything_but_wall_clock():
+    rows = {name: run_storm(name, n_nodes=4, n_flows=20,
+                            segments_per_flow=10)
+            for name in ("legacy", "fast")}
+    for key in ("flows_completed", "rto_fired", "delack_fired",
+                "heartbeats"):
+        assert rows["legacy"][key] == rows["fast"][key], key
+    assert rows["fast"]["flows_completed"] == 20
+    # The fast preset needed strictly fewer queue ops for the same run.
+    assert rows["fast"]["events_pushed"] < rows["legacy"]["events_pushed"]
+
+
+def test_flows_presets_complete_the_same_transfers():
+    rows = {name: run_simcore(name, n_nodes=4, n_flows=8,
+                              payload_bytes=2048, limit_s=30.0)
+            for name in ("legacy", "fast")}
+    assert rows["legacy"]["flows_completed"] == 8
+    assert rows["fast"]["flows_completed"] == 8
+
+
+# ---------------------------------------------------------------------------
+# fig5-style equivalence: a checkpoint round under either preset yields
+# identical RoundStats (determinism across the whole refactor stack).
+# ---------------------------------------------------------------------------
+
+def _checkpoint_round(scheduler):
+    cluster = CruzCluster(3, time_wait_s=0.5, coordinator_timeout_s=20.0,
+                          scheduler=scheduler)
+    app = cluster.launch_app_factory(
+        "ring", 3, ring_factory(3, max_token=2000, padding=256,
+                                work_per_hop_s=0.0005))
+    cluster.run_for(0.3)
+    stats = cluster.checkpoint_app(app)
+    return cluster, stats
+
+
+@pytest.mark.torture
+def test_fig5_round_stats_identical_across_schedulers():
+    cluster_fast, stats_fast = _checkpoint_round("fast")
+    cluster_legacy, stats_legacy = _checkpoint_round("legacy")
+    assert dataclasses.asdict(stats_fast) == dataclasses.asdict(
+        stats_legacy)
+    # Both rounds also ended at the same simulated instant.
+    assert cluster_fast.sim.now == cluster_legacy.sim.now

@@ -1,0 +1,236 @@
+"""Hashed timer wheel, lazy RTO restart, and batched link delivery."""
+
+from repro.errors import SimulationError
+import pytest
+
+from repro.net.link import Link, Port
+from repro.net.packet import EthernetFrame
+from repro.net.addresses import MacAddress
+from repro.sim.core import Simulator
+from repro.sim.timers import (
+    DEFAULT_GRANULARITY,
+    DirectTimers,
+    TimerWheel,
+    timers_for,
+)
+
+from tests.helpers import make_pair
+from tests.test_tcp_connection import SinkApp, SourceApp, establish
+
+
+# ---------------------------------------------------------------------------
+# Wheel semantics
+# ---------------------------------------------------------------------------
+
+def test_wheel_fires_rounded_up_to_slot():
+    sim = Simulator()
+    wheel = timers_for(sim)
+    assert isinstance(wheel, TimerWheel)
+    fired = []
+    wheel.after(0.0101, lambda: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == 1
+    # At most one slot late, never early.
+    assert 0.0101 <= fired[0] <= 0.0101 + DEFAULT_GRANULARITY
+
+
+def test_wheel_slot_sharing_one_event_many_timers():
+    sim = Simulator()
+    wheel = timers_for(sim)
+    fired = []
+    for k in range(100):
+        # All within one granularity window: they share a slot.
+        wheel.after(0.010, fired.append, k)
+    sim.run()
+    assert fired == list(range(100))          # arming order within a slot
+    assert wheel.stats()["slot_events"] <= 2  # not one event per timer
+
+
+def test_wheel_cancel_prevents_fire_and_counts():
+    sim = Simulator()
+    wheel = timers_for(sim)
+    fired = []
+    keep = wheel.after(0.01, fired.append, "keep")
+    drop = wheel.after(0.01, fired.append, "drop")
+    drop.cancel()
+    assert keep.active and not drop.active
+    sim.run()
+    assert fired == ["keep"]
+    stats = wheel.stats()
+    assert stats["fired"] == 1
+    assert stats["cancelled"] == 1
+
+
+def test_wheel_rearm_into_same_slot_during_fire():
+    sim = Simulator()
+    wheel = timers_for(sim)
+    fired = []
+
+    def again():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            wheel.after(0.0, again)           # re-arms into the live slot
+
+    wheel.after(0.01, again)
+    sim.run()
+    assert len(fired) == 3
+
+
+def test_wheel_rejects_negative_delay():
+    sim = Simulator()
+    wheel = timers_for(sim)
+    with pytest.raises(SimulationError):
+        wheel.after(-0.1, lambda: None)
+
+
+def test_direct_timers_shim_matches_handle_api():
+    sim = Simulator(slotted_timers=False)
+    timers = timers_for(sim)
+    assert isinstance(timers, DirectTimers)
+    assert timers.LAZY_RESTART is False
+    fired = []
+    keep = timers.after(0.25, fired.append, "keep")
+    drop = timers.after(0.25, fired.append, "drop")
+    assert keep.active and drop.active
+    drop.cancel()
+    assert not drop.active
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.now == 0.25                    # exact, unquantised deadline
+    assert not keep.active
+
+
+# ---------------------------------------------------------------------------
+# Lazy RTO restart (mod_timer discipline) at the TCP layer
+# ---------------------------------------------------------------------------
+
+def test_rtx_restart_is_lazy_under_the_wheel():
+    """Per-ACK RTO restarts are deadline bumps, not fresh wheel arms."""
+    arms = {}
+    acked = {}
+    for lazy in (True, False):
+        sim, wire, a, b = make_pair()
+        client, server = establish(sim, a, b)
+        client._lazy_restart = lazy
+        SinkApp(sim, server)
+        before = client._timers.armed
+        SourceApp(sim, client, b"x" * 40000)
+        sim.run(until=sim.now + 2.0)
+        arms[lazy] = client._timers.armed - before
+        acked[lazy] = client.tcb.snd_una - client.tcb.iss
+    assert acked[True] == acked[False] > 40000  # identical transfer
+    # Eager restart pays one wheel arm per restarting ACK; lazy restart
+    # pays none (its arms are the delayed-ACK and handshake timers both
+    # runs share).
+    assert arms[True] < arms[False], arms
+
+
+def test_lazy_restart_still_retransmits_at_the_bumped_deadline():
+    sim, wire, a, b = make_pair()
+    client, server = establish(sim, a, b)
+    SinkApp(sim, server)
+    # Drop every data segment from the client after the bump window so
+    # the (lazily maintained) RTO is the only recovery path.
+    state = {"drops": 0}
+
+    def drop_data(packet):
+        if packet.src == a[0] and len(packet.payload.payload) > 0:
+            state["drops"] += 1
+            return True
+        return False
+
+    client.send(b"y" * 500)
+    sim.run(until=sim.now + 0.05)              # segment + ACK exchange
+    wire.drop_fn = drop_data
+    client.send(b"z" * 500)
+    deadline = client._rtx_deadline
+    sim.run(until=deadline + 1.0)
+    wire.drop_fn = None
+    sim.run(until=sim.now + 10.0)
+    assert state["drops"] >= 1
+    assert client.tcb.snd_una == client.tcb.snd_nxt  # recovered via RTO
+
+
+# ---------------------------------------------------------------------------
+# Batched link delivery
+# ---------------------------------------------------------------------------
+
+class _Payload:
+    """Minimal frame payload: a size and an identifying note."""
+
+    __slots__ = ("size", "note")
+
+    def __init__(self, note, size=1486):
+        self.note = note
+        self.size = size
+
+
+def _frame(k, size=1486):
+    return EthernetFrame(src=MacAddress.ordinal(1),
+                         dst=MacAddress.ordinal(2), ethertype=0x0800,
+                         payload=_Payload(str(k), size))
+
+
+def test_link_burst_delivers_in_order_as_batches():
+    sim = Simulator()
+    got = []
+    a = Port("a", lambda frame, port: None)
+    b = Port("b", lambda frame, port: got.append(frame.payload.note))
+    # A coalescing window wider than the per-frame serialisation time:
+    # the burst lands as a handful of batches, not one event per frame.
+    link = Link(sim, a, b, bandwidth_bps=1e9, latency_s=5e-6,
+                coalesce_s=1e-3)
+    for k in range(50):
+        a.transmit(_frame(k))
+    sim.run()
+    assert got == [str(k) for k in range(50)]
+    direction = link.a_to_b
+    assert direction.frames == 50
+    assert direction.batches < 10
+
+
+def test_link_direct_mode_matches_batched_delivery_times():
+    results = {}
+    for direct in (False, True):
+        sim = Simulator(queue="calendar" if not direct else "heap",
+                        lightweight=not direct)
+        got = []
+        a = Port("a", lambda frame, port: None)
+        b = Port("b",
+                 lambda frame, port: got.append((sim.now,
+                                                 frame.payload.note)))
+        Link(sim, a, b, bandwidth_bps=1e9, latency_s=5e-6, direct=direct)
+        for k in range(20):
+            a.transmit(_frame(k))
+        sim.run()
+        results[direct] = got
+    assert results[False] == results[True]
+
+
+def test_link_coalescing_never_delivers_early():
+    sim = Simulator()
+    got = []
+    a = Port("a", lambda frame, port: None)
+    b = Port("b", lambda frame, port: got.append(sim.now))
+    coalesce = 2.0 ** -15
+    Link(sim, a, b, bandwidth_bps=1e9, latency_s=5e-6,
+         coalesce_s=coalesce)
+    frame = _frame(0)
+    earliest = frame.size * 8.0 / 1e9 + 5e-6
+    a.transmit(frame)
+    sim.run()
+    assert len(got) == 1
+    assert earliest <= got[0] <= earliest + coalesce
+
+
+def test_link_down_drops_pending_frames():
+    sim = Simulator()
+    got = []
+    a = Port("a", lambda frame, port: None)
+    b = Port("b", lambda frame, port: got.append(frame.payload.note))
+    link = Link(sim, a, b)
+    a.transmit(_frame(0))
+    link.down = True
+    sim.run()
+    assert got == []
+    assert link.frames_dropped == 1
