@@ -18,6 +18,10 @@ SAN-WAL-EPOCH      WAL epoch monotonicity in the coordinator (a round
 SAN-NETFILTER-LEAK end-of-round drop-rule leak checks in
                    ``cruz/agent.py`` (no rule matching the pod survives
                    the round's ``finally``)
+SAN-MEM-RESTORE    restored address spaces in ``zap/restart.py`` must
+                   carry exactly the regions and page write-versions
+                   the image captured (catches dirty-bit bookkeeping
+                   drift between checkpoint and restore)
 SAN-POD-PAUSE      pod pause/resume pairing at pod exit: no live
                    process may still be SIGSTOPped when the pod is
                    uninstalled
@@ -199,6 +203,36 @@ class Sanitizer:
                 f"{len(leaked)} drop rule(s) for {pod_ip} survived the "
                 f"round", node=node.name, time=time, epoch=epoch,
                 rule_ids=leaked, pod_ip=str(pod_ip))
+
+    def check_restored_memory(self, image, pod, time: float = 0.0) -> None:
+        """After a restart, every restored address space must carry
+        exactly the regions and page write-versions the image captured —
+        the invariant an out-of-order dirty-bit clear (retiring bits
+        before the store commit) would eventually break."""
+        captured = {proc_image.vpid: proc_image.memory
+                    for proc_image in image.processes}
+        for proc in pod.live_processes():
+            vpid = pod.vpid_of(proc.pid)
+            source = captured.get(vpid)
+            if source is None:
+                self.record(
+                    "SAN-MEM-RESTORE",
+                    f"pod {pod.name}: restored vpid {vpid} has no "
+                    f"captured memory image", node=pod.node.name,
+                    time=time, pod=pod.name, vpid=vpid)
+                continue
+            restored = proc.memory
+            if restored.page_versions != source.page_versions or \
+                    {n: (r.nbytes, r.base_page)
+                     for n, r in restored.regions.items()} != \
+                    {n: (r.nbytes, r.base_page)
+                     for n, r in source.regions.items()}:
+                self.record(
+                    "SAN-MEM-RESTORE",
+                    f"pod {pod.name} vpid {vpid}: restored memory "
+                    f"diverges from the captured image",
+                    node=pod.node.name, time=time, pod=pod.name,
+                    vpid=vpid)
 
     def check_process_exit(self, node_name: str, proc,
                            time: float = 0.0) -> None:

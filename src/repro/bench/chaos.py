@@ -50,6 +50,10 @@ class ChaosResult:
     sanitizer_report: str = ""
     frames_dropped: int = 0
     chaos_log: List[Dict[str, Any]] = field(default_factory=list)
+    #: Suspect-state eviction mode (heartbeat mute, no real crash).
+    evict_mode: bool = False
+    #: One entry per suspect-state live eviction (``supervisor.evictions``).
+    evictions: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def mttr_s(self) -> Optional[float]:
@@ -60,10 +64,19 @@ class ChaosResult:
 
     @property
     def ok(self) -> bool:
-        return (self.completed and self.output_correct
+        base = (self.completed and self.output_correct
                 and self.sanitizer_violations == 0
-                and not self.failover_failures
-                and bool(self.failovers))
+                and not self.failover_failures)
+        if self.evict_mode:
+            # The healthy-but-silent node's pods must have been live-
+            # migrated away — every eviction succeeded, and did so while
+            # the node was still merely *suspect* (bit-exact output then
+            # proves no acknowledged data was lost across the move).
+            return (base and bool(self.evictions)
+                    and all(entry.get("ok")
+                            and entry.get("before_declaration")
+                            for entry in self.evictions))
+        return base and bool(self.failovers)
 
     def render(self) -> str:
         head = "chaos: PASS" if self.ok else "chaos: FAIL"
@@ -88,6 +101,17 @@ class ChaosResult:
                 "    mttr={total:.3f}s (detect={detect:.3f} "
                 "verify={verify:.3f} place={place:.3f} "
                 "restart={restart:.3f})".format(**phases))
+        for entry in self.evictions:
+            if entry.get("ok"):
+                lines.append(
+                    f"  evicted[{entry['pod']}]: {entry['from']} -> "
+                    f"{entry['to']} rounds={entry['rounds']} "
+                    f"pause={entry['pause_window_s'] * 1e3:.2f}ms "
+                    f"before_declaration={entry['before_declaration']}")
+            else:
+                lines.append(
+                    f"  eviction FAILED[{entry['pod']}]: "
+                    f"{entry.get('reason', '?')}")
         for reason in self.failover_failures:
             lines.append(f"  failover FAILED: {reason}")
         lines.append(f"  {self.sanitizer_report.splitlines()[0]}")
@@ -108,6 +132,7 @@ def run_chaos(seed: int = 7,
               crash_jitter_s: float = 0.008,
               revive_after: Optional[float] = None,
               link_flap: bool = True,
+              evict_on_suspect: bool = False,
               tiebreak: str = "fifo",
               limit_s: float = 60.0) -> ChaosResult:
     """One seeded chaos run; see the module docstring for the scenario.
@@ -116,6 +141,13 @@ def run_chaos(seed: int = 7,
     mid-save, the worst moment: the round must abort (a dead node never
     writes another WAL record) and failover must fall back to the round
     that *committed*, not the one in flight.
+
+    With ``evict_on_suspect`` the scenario changes: instead of a crash,
+    the target node's *heartbeats* are muted while it stays fully alive
+    (silence outlasting the death lease). The supervisor must live-
+    migrate its pods to a healthy node while the node is still merely
+    suspect — before the (false) death declaration — and the app must
+    still finish bit-exact, proving no acknowledged data was lost.
     """
     from repro.analysis.determinism import state_hash
     from repro.apps.slm import reference_solution, slm_factory
@@ -123,9 +155,11 @@ def run_chaos(seed: int = 7,
     from repro.cruz.faults import ChaosInjector
 
     rows = rows_per_rank * ranks
-    result = ChaosResult(seed=seed, tiebreak=tiebreak)
+    result = ChaosResult(seed=seed, tiebreak=tiebreak,
+                         evict_mode=evict_on_suspect)
     cluster = CruzCluster(app_nodes, seed=seed, supervise=True,
-                          sanitize=True, tiebreak=tiebreak)
+                          sanitize=True, tiebreak=tiebreak,
+                          evict_on_suspect=evict_on_suspect)
     app = cluster.launch_app_factory(
         "slm", ranks,
         slm_factory(ranks, global_rows=rows, cols=cols, steps=steps,
@@ -149,6 +183,7 @@ def run_chaos(seed: int = 7,
             if done():
                 return
             if cluster.supervisor.failover_active(app.name) \
+                    or cluster.supervisor.eviction_active(app.name) \
                     or not members_alive():
                 continue
             try:
@@ -168,18 +203,27 @@ def run_chaos(seed: int = 7,
         # round is actually in flight (round starts drift with the
         # workload, so a fixed-clock crash would miss the window).
         crash_at = 2 * checkpoint_interval_s
-    chaos.schedule_node_crash_mid_round(crash_node_index, after=crash_at,
-                                        within_s=crash_jitter_s,
-                                        revive_after=revive_after)
-    if link_flap:
+    worst_beat_s = (cluster.heartbeat_interval_s
+                    + cluster.heartbeat_jitter_s)
+    if evict_on_suspect:
+        # Healthy node, silent liveness path: mute long past the death
+        # lease so the eviction has to beat the declaration, not wait
+        # it out.
+        chaos.schedule_heartbeat_mute(
+            crash_node_index, at=crash_at,
+            duration_s=(cluster.lease_misses + 3) * worst_beat_s)
+    else:
+        chaos.schedule_node_crash_mid_round(
+            crash_node_index, after=crash_at, within_s=crash_jitter_s,
+            revive_after=revive_after)
+    if link_flap and not evict_on_suspect:
         # A survivor's link drops for less than the death threshold:
         # the detector must suspect and then stand down, not declare.
         flap_node = (crash_node_index + 1) % app_nodes
         flap_misses = max(1, cluster.lease_misses - 2)
         chaos.schedule_link_flap(
             flap_node, at=crash_at + 1.0,
-            duration_s=flap_misses * (cluster.heartbeat_interval_s
-                                      + cluster.heartbeat_jitter_s))
+            duration_s=flap_misses * worst_beat_s)
 
     try:
         cluster.run_until(done, limit=limit_s)
@@ -215,6 +259,7 @@ def run_chaos(seed: int = 7,
         result.failovers.append(entry)
     result.failover_failures = [str(error)
                                 for error in supervisor.failures]
+    result.evictions = [dict(entry) for entry in supervisor.evictions]
     dropped = cluster.metrics.counter("link.frames_dropped")
     result.frames_dropped = int(dropped.value)
     result.chaos_log = list(chaos.log)
@@ -239,6 +284,11 @@ def chaos_determinism(seed: int = 7, **kwargs) -> List[str]:
             "state_hash": r.state_hash,
             "rounds": [r.rounds_committed, r.rounds_aborted],
             "deaths": r.deaths,
+            "evictions": [
+                {key: entry.get(key)
+                 for key in ("pod", "from", "to", "ok", "rounds",
+                             "pause_window_s", "before_declaration")}
+                for entry in r.evictions],
             "failovers": [
                 {"dead_node": fo["dead_node"],
                  "version": fo["version"],

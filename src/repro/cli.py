@@ -197,6 +197,17 @@ def _cmd_bench(args) -> int:
                                    min_speedup=args.min_speedup,
                                    tolerance=args.tolerance,
                                    **workload)
+    elif args.suite == "migration":
+        from repro.bench import migration
+        baseline = args.baseline or migration.DEFAULT_BASELINE
+        workload = {"ranks": args.ranks,
+                    "memory_mb_per_rank": args.memory_mb}
+        if args.save:
+            status = migration.save_baseline(baseline, **workload)
+        else:
+            status = migration.check(
+                baseline, max_pause_ratio=args.max_pause_ratio,
+                tolerance=args.tolerance, **workload)
     else:
         from repro.bench import regression
         baseline = args.baseline or "benchmarks/BENCH_fig5.json"
@@ -337,10 +348,12 @@ def _cmd_chaos(args) -> int:
     from repro.bench.chaos import chaos_determinism, run_chaos
 
     result = run_chaos(seed=args.seed, crash_node_index=args.crash_node,
-                       link_flap=not args.no_flap)
+                       link_flap=not args.no_flap,
+                       evict_on_suspect=args.evict_on_suspect)
     divergences: List[str] = []
     if args.check_determinism:
-        divergences = chaos_determinism(seed=args.seed)
+        divergences = chaos_determinism(
+            seed=args.seed, evict_on_suspect=args.evict_on_suspect)
     ok = result.ok and not divergences
     if args.json:
         _emit_json({
@@ -421,9 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock regression guards (fig5 round time, "
              "simcore events/sec)")
     bench.add_argument("suite", nargs="?", default="fig5",
-                       choices=["fig5", "simcore"],
+                       choices=["fig5", "simcore", "migration"],
                        help="fig5: checkpoint-round wall clock; "
-                            "simcore: scheduler events/sec speedup")
+                            "simcore: scheduler events/sec speedup; "
+                            "migration: pre-copy vs stop-and-copy "
+                            "pause windows")
     bench.add_argument("--save", action="store_true",
                        help="record a new baseline instead of comparing")
     bench.add_argument("--compare", action="store_true",
@@ -442,6 +457,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=5.0,
                        help="simcore: required fast/legacy storm "
                             "speedup (default 5.0)")
+    bench.add_argument("--ranks", type=int, default=2,
+                       help="migration: slm ranks (default 2)")
+    bench.add_argument("--memory-mb", type=float, default=100.0,
+                       help="migration: per-rank state size in MB "
+                            "(default 100, the fig5 scale)")
+    bench.add_argument("--max-pause-ratio", type=float, default=0.25,
+                       help="migration: required pre-copy pause as a "
+                            "fraction of stop-and-copy (default 0.25)")
     bench.set_defaults(fn=_cmd_bench)
 
     lint = sub.add_parser(
@@ -480,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="application node to crash (default 0)")
     chaos.add_argument("--no-flap", action="store_true",
                        help="skip the survivor link flap")
+    chaos.add_argument("--evict-on-suspect", action="store_true",
+                       help="mute a healthy node's heartbeats instead "
+                            "of crashing it; its pods must be live-"
+                            "migrated away before the declaration")
     chaos.add_argument("--check-determinism", action="store_true",
                        help="also replay under LIFO tie-breaking and "
                             "diff the fingerprints")

@@ -95,6 +95,10 @@ class CheckpointAgent:
         self.crashed = False
         #: Liveness beacons sent (see :meth:`start_heartbeats`).
         self.heartbeats_sent = 0
+        #: Failure injection: a muted agent stays fully alive (pods run,
+        #: control plane answers) but stops beating — a partitioned or
+        #: wedged liveness path, the supervisor's false-suspicion case.
+        self.mute_heartbeats = False
         self._heartbeat_seq = 0
         #: In-flight dispatch/save simulation processes, interrupted on
         #: :meth:`crash` so a powered-off node stops mid-operation. A
@@ -135,7 +139,7 @@ class CheckpointAgent:
         sim = self.node.sim
         while True:
             yield sim.timeout(interval_s + rng.random() * jitter_s)
-            if self.crashed:
+            if self.crashed or self.mute_heartbeats:
                 continue
             self._heartbeat_seq += 1
             self.heartbeats_sent += 1

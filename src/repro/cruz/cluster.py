@@ -22,11 +22,18 @@ from repro.cluster import Cluster
 from repro.cruz.agent import CheckpointAgent
 from repro.cruz.coordinator import CheckpointCoordinator, DistributedApp
 from repro.cruz.faults import ControlFaultInjector, FaultPlan
+from repro.cruz.migration import (
+    DEFAULT_DIRTY_THRESHOLD_BYTES,
+    DEFAULT_MAX_ROUNDS,
+    MigrationReport,
+    PrecopyMigrator,
+    stop_and_copy,
+)
 from repro.cruz.netstate import CruzSocketCodec
 from repro.cruz.protocol import RetryPolicy, RoundStats
 from repro.cruz.storage import ImageStore
 from repro.cruz.supervisor import NodeSupervisor
-from repro.errors import MigrationError, PodError, RestartMismatchError
+from repro.errors import PodError, RestartMismatchError
 from repro.simos.program import Program
 from repro.zap.checkpoint import scrub_pod_network
 from repro.zap.pod import Pod
@@ -51,6 +58,7 @@ class CruzCluster(Cluster):
                  heartbeat_jitter_s: float = 0.01,
                  lease_misses: int = 3,
                  auto_failover: bool = True,
+                 evict_on_suspect: bool = False,
                  **kwargs):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
@@ -83,6 +91,9 @@ class CruzCluster(Cluster):
         self.heartbeat_jitter_s = heartbeat_jitter_s
         self.lease_misses = lease_misses
         self.auto_failover = auto_failover
+        self.evict_on_suspect = evict_on_suspect
+        #: Report of the most recent successful :meth:`migrate_pod`.
+        self.last_migration: Optional[MigrationReport] = None
         self.supervisor: Optional[NodeSupervisor] = None
         if supervise:
             self._install_supervisor(start_heartbeats=True)
@@ -95,7 +106,8 @@ class CruzCluster(Cluster):
             heartbeat_interval_s=self.heartbeat_interval_s,
             heartbeat_jitter_s=self.heartbeat_jitter_s,
             lease_misses=self.lease_misses,
-            auto_failover=self.auto_failover)
+            auto_failover=self.auto_failover,
+            evict_on_suspect=self.evict_on_suspect)
         supervisor_ip = self.coordinator_node.stack.eth0.ip
         for index, agent in enumerate(self.agents):
             self.supervisor.watch(index)
@@ -336,6 +348,11 @@ class CruzCluster(Cluster):
             members = [(pod.node.stack.eth0.ip, pod.name)
                        for pod in app.pods]
         else:
+            if len(node_indices) != len(app.pods):
+                raise ValueError(
+                    f"restart_app({app.name!r}): {len(node_indices)} "
+                    f"node index(es) for {len(app.pods)} pod(s) — one "
+                    f"index per member required")
             members = [(self.nodes[idx].stack.eth0.ip, pod.name)
                        for idx, pod in zip(node_indices, app.pods)]
         task = self.sim.process(self.coordinator.restart(
@@ -345,80 +362,40 @@ class CruzCluster(Cluster):
         return stats
 
     def migrate_pod(self, pod: Pod, target_node_index: int,
-                    limit: float = 1e6) -> Pod:
-        """Live-migrate one pod: checkpoint, kill, restart on the target.
+                    limit: float = 1e6, live: bool = True,
+                    max_rounds: int = DEFAULT_MAX_ROUNDS,
+                    dirty_threshold_bytes: int =
+                    DEFAULT_DIRTY_THRESHOLD_BYTES) -> Pod:
+        """Migrate one pod to another node; live (pre-copy) by default.
 
-        If the target-node restore fails after the source pod was
-        destroyed, the pod is rolled back — restored from the same
-        committed image on its source node — and a typed
-        :class:`MigrationError` reports the restorable version. Either
-        way ``app.pods`` stays consistent: it points at the rolled-back
-        pod, or (if even the rollback failed) the member is removed
-        rather than left dangling.
+        ``live=True`` runs the :class:`~repro.cruz.migration
+        .PrecopyMigrator` convergence loop: incremental chunk rounds
+        stream to the target while the pod keeps running, and the pod is
+        isolated + paused only for the final delta. ``live=False`` keeps
+        the old whole-migration-isolation stop-and-copy (the benchmark
+        baseline). The resulting :class:`MigrationReport` lands in
+        ``self.last_migration``.
+
+        Failure semantics (both modes): a failed target restore after
+        the source pod was destroyed rolls the pod back onto its source
+        node and raises a typed :class:`MigrationError` naming the
+        committed, restorable version; ``app.pods`` stays consistent —
+        the fixup is scoped to the app actually owning this pod object
+        (two apps with same-named pods never interfere). Failures that
+        leave the source as found (missing/crashed source agent, dead
+        target, source death mid-pre-copy) raise ``MigrationError`` with
+        ``source_destroyed=False`` and rewrite nothing.
         """
-        source_agent = self._agent_for(pod.node.name)
-        target_agent = self.agents[target_node_index]
-        engine = source_agent.checkpoint_engine
-
-        def sequence():
-            # Isolate the pod for the WHOLE migration: anything its old
-            # kernel half received-and-ACKed after the capture would be
-            # lost forever (the restored endpoint rolls back, the peer
-            # will not retransmit acknowledged data).
-            source_node = pod.node
-            rule_id = source_node.stack.netfilter.drop_all_for(pod.ip)
-            yield self.sim.timeout(source_node.costs.netfilter_update)
-            try:
-                # The engine commits the image through the chunk store
-                # itself; image.version identifies the stored copy.
-                image = yield from engine.checkpoint(pod, resume=False)
-                scrub_pod_network(pod)
-                pod.kill_all()
-                uninstall_pod(pod)
-                source_agent.unregister_pod(pod.name)
-            finally:
-                source_node.stack.netfilter.remove_rule(rule_id)
-            try:
-                restored = yield from target_agent.restart_engine.restart(
-                    image, target_agent.node, resume=True)
-            except Exception as error:  # noqa: BLE001 - engine failure
-                # The source pod is already gone; the committed image is
-                # the only copy. Try to restore it where it came from.
-                try:
-                    fallback = yield from \
-                        source_agent.restart_engine.restart(
-                            image, source_node, resume=True)
-                except Exception as rollback_error:  # noqa: BLE001
-                    failure = MigrationError(
-                        pod.name, image.version, target_agent.node.name,
-                        error, rolled_back=False)
-                    failure.rollback_error = rollback_error
-                    raise failure from error
-                source_agent.register_pod(fallback)
-                failure = MigrationError(
-                    pod.name, image.version, target_agent.node.name,
-                    error, rolled_back=True)
-                failure.pod = fallback
-                raise failure from error
-            target_agent.register_pod(restored)
-            return restored
-
-        task = self.sim.process(sequence(), name=f"migrate({pod.name})")
-        try:
-            new_pod = self.run_until_complete(task, limit=limit)
-        except MigrationError as failure:
-            fallback = getattr(failure, "pod", None)
-            for app in self.apps.values():
-                if fallback is not None:
-                    app.pods = [fallback if p.name == failure.pod_name
-                                else p for p in app.pods]
-                else:
-                    app.pods = [p for p in app.pods
-                                if p.name != failure.pod_name]
-            raise
-        for app in self.apps.values():
-            app.pods = [new_pod if p.name == new_pod.name else p
-                        for p in app.pods]
+        if live:
+            migrator = PrecopyMigrator(
+                self, max_rounds=max_rounds,
+                dirty_threshold_bytes=dirty_threshold_bytes)
+            sequence = migrator.migrate(pod, target_node_index)
+        else:
+            sequence = stop_and_copy(self, pod, target_node_index)
+        task = self.sim.process(sequence, name=f"migrate({pod.name})")
+        new_pod, report = self.run_until_complete(task, limit=limit)
+        self.last_migration = report
         return new_pod
 
     def _agent_for(self, node_name: str) -> Optional[CheckpointAgent]:

@@ -282,6 +282,33 @@ class ChaosInjector:
 
         self.sim.process(trigger(), name=f"chaos-crash-node{node_index}")
 
+    def schedule_heartbeat_mute(self, node_index: int, at: float,
+                                duration_s: float,
+                                jitter_s: float = 0.0) -> float:
+        """Silence one agent's liveness beacons for ``duration_s``.
+
+        The node stays fully alive — pods keep running, the data plane
+        and control plane keep answering — only the heartbeat path goes
+        quiet, so the supervisor *suspects* (and, if silence outlasts its
+        lease, wrongly declares) a healthy node. This is the eviction
+        scenario: with ``evict_on_suspect`` the suspect node's pods must
+        be live-migrated away before the declaration, with zero lost
+        acknowledged data. Returns the actual mute time.
+        """
+        start = at + (self.rng.random() * jitter_s if jitter_s else 0.0)
+
+        def mute() -> None:
+            self._record("mute_heartbeats", node=node_index)
+            self.cluster.agents[node_index].mute_heartbeats = True
+
+        def unmute() -> None:
+            self._record("unmute_heartbeats", node=node_index)
+            self.cluster.agents[node_index].mute_heartbeats = False
+
+        self.sim.call_at(start, mute)
+        self.sim.call_at(start + duration_s, unmute)
+        return start
+
     # -- links --------------------------------------------------------------
 
     def schedule_link_flap(self, node_index: int, at: float,

@@ -40,10 +40,13 @@ from repro.cruz.protocol import (
     ControlMessage,
     ReliableEndpoint,
 )
+from repro.cruz.migration import PrecopyMigrator
 from repro.cruz.storage import LivenessLog
 from repro.errors import (
+    CheckpointError,
     CoordinationError,
     FailoverError,
+    MigrationError,
     RestartMismatchError,
 )
 from repro.net.addresses import Ipv4Address
@@ -111,6 +114,7 @@ class NodeSupervisor:
                  heartbeat_jitter_s: float = 0.01,
                  lease_misses: int = 3,
                  auto_failover: bool = True,
+                 evict_on_suspect: bool = False,
                  max_restart_attempts: int = 3,
                  retry_backoff_s: float = 0.25,
                  settle_s: float = 0.02):
@@ -120,6 +124,7 @@ class NodeSupervisor:
         self.heartbeat_jitter_s = heartbeat_jitter_s
         self.lease_misses = lease_misses
         self.auto_failover = auto_failover
+        self.evict_on_suspect = evict_on_suspect
         self.max_restart_attempts = max_restart_attempts
         self.retry_backoff_s = retry_backoff_s
         self.settle_s = settle_s
@@ -129,7 +134,13 @@ class NodeSupervisor:
         self.deaths: List[Dict] = []
         self.failovers: List[FailoverRecord] = []
         self.failures: List[FailoverError] = []
+        #: One entry per suspect-state eviction attempt (see ``_evict``).
+        self.evictions: List[Dict] = []
         self._active_failovers: Set[str] = set()
+        #: Node indices with an eviction sweep in flight.
+        self._evicting_nodes: Set[int] = set()
+        #: App names with a member currently being live-migrated away.
+        self._evicting_apps: Set[str] = set()
         self._monitoring = False
         #: Last logged state per node, inherited from the liveness WAL —
         #: a replacement supervisor starts knowing who is already dead.
@@ -224,8 +235,98 @@ class NodeSupervisor:
                     lease.detect_span = self._spans.begin(
                         "failover.detect", node=self.node.name,
                         subject=lease.name, attach=False, orphan=True)
+                    if self.evict_on_suspect and \
+                            lease.index not in self._evicting_nodes:
+                        self._evicting_nodes.add(lease.index)
+                        sim.process(self._evict(lease),
+                                    name=f"evict(node{lease.index})")
                 if silence > self.lease_misses * self._worst_case_beat_s():
                     self._declare_dead(lease)
+
+    # -- suspect-state eviction --------------------------------------------
+
+    def _evict(self, lease: NodeLease) -> Generator:
+        """Proactively live-migrate every pod off a *suspect* node.
+
+        A suspect lease (one missed worst-case beat) precedes a death
+        declaration by ``lease_misses - 1`` further beats — enough time
+        for converged pre-copy migrations to move the pods with a
+        near-zero pause, turning reactive failover (restore from the
+        last checkpoint, losing progress since it) into zero-loss
+        preemption. If the node really is dead, the migration preflight
+        or its mid-round death check fails fast and normal failover owns
+        the recovery; if the suspicion was a false alarm, the migration
+        was merely transparent.
+        """
+        from repro.cruz.migration import owning_app
+        from repro.lsf.scheduler import least_loaded_target
+
+        cluster = self.cluster
+        sim = self._sim
+        agent = cluster.agents[lease.index]
+        migrator = PrecopyMigrator(cluster)
+        span = self._spans.begin("supervisor.evict", node=self.node.name,
+                                 subject=lease.name, attach=False,
+                                 orphan=True)
+        moved = 0
+        try:
+            # Let any in-flight coordinated round settle first: its
+            # agent-side handler may be holding the pod stopped under
+            # the round's own drop rule.
+            while cluster.store.rounds.in_flight():
+                yield sim.timeout(self.settle_s)
+            for pod_name in sorted(agent.pods):
+                pod = agent.pods.get(pod_name)
+                if pod is None:
+                    continue
+                entry = {"pod": pod_name, "from": lease.name,
+                         "started_at": sim.now, "ok": False}
+                target = least_loaded_target(
+                    cluster, exclude={lease.index},
+                    node_alive=self._node_alive)
+                if target is None:
+                    entry["reason"] = "no live target"
+                    self.evictions.append(entry)
+                    break
+                app = owning_app(cluster, pod)
+                app_name = app.name if app is not None else None
+                if app_name is not None:
+                    self._evicting_apps.add(app_name)
+                try:
+                    _restored, report = yield from migrator.migrate(
+                        pod, target)
+                except (MigrationError, CheckpointError,
+                        CoordinationError) as error:
+                    entry["reason"] = str(error)
+                    self.evictions.append(entry)
+                    self._spans.instant(
+                        "supervisor.evict_failed", node=self.node.name,
+                        subject=lease.name, pod=pod_name,
+                        reason=str(error))
+                    break
+                finally:
+                    if app_name is not None:
+                        self._evicting_apps.discard(app_name)
+                entry.update(
+                    ok=True, to=report.target_node,
+                    rounds=report.precopy_rounds,
+                    converged=report.converged,
+                    pause_window_s=report.pause_window_s,
+                    completed_at=sim.now,
+                    #: still merely suspect — eviction beat declaration.
+                    before_declaration=lease.alive)
+                moved += 1
+                self.evictions.append(entry)
+                self.node.trace.metrics.counter(
+                    "supervisor.evictions").inc(label=lease.name)
+        finally:
+            self._evicting_nodes.discard(lease.index)
+            self._spans.end(span, moved=moved)
+
+    def eviction_active(self, app_name: str) -> bool:
+        """True while a member of ``app_name`` is being migrated away
+        from a suspect node."""
+        return app_name in self._evicting_apps
 
     # -- death declaration -------------------------------------------------
 

@@ -82,24 +82,36 @@ class PodError(ReproError):
 
 
 class MigrationError(PodError):
-    """Live migration failed after the source pod was destroyed.
+    """Live migration of one pod failed.
 
-    The checkpoint image named by ``version`` is committed in the shared
-    store and remains restorable; ``rolled_back`` reports whether the pod
-    was automatically re-restored on its source node (leaving the app
-    consistent) or must be restored by hand.
+    ``version`` names the newest committed checkpoint image (``None``
+    when the failure happened before anything was committed — e.g. the
+    source node has no live agent). ``source_destroyed`` reports whether
+    the migration itself tore the source pod down before failing: when
+    ``False`` the source pod was left exactly as found (it may still be
+    running, or have died to an external crash — not this operation's
+    doing) and ``app.pods`` must not be rewritten. When ``True``,
+    ``rolled_back`` reports whether the pod was automatically re-restored
+    on its source node (leaving the app consistent) or must be restored
+    by hand from ``version``.
     """
 
     def __init__(self, pod_name, version, target_node, cause,
-                 rolled_back=False):
+                 rolled_back=False, source_destroyed=True):
         self.pod_name = pod_name
         self.version = version
         self.target_node = target_node
         self.cause = cause
         self.rolled_back = rolled_back
-        state = ("rolled back to its source node" if rolled_back
-                 else "NOT running anywhere")
+        self.source_destroyed = source_destroyed
+        if not source_destroyed:
+            state = "left as found at the source"
+        elif rolled_back:
+            state = "rolled back to its source node"
+        else:
+            state = "NOT running anywhere"
+        image = (f"committed image v{version} remains restorable"
+                 if version is not None else "no image was committed")
         super().__init__(
             f"migration of {pod_name!r} to {target_node} failed "
-            f"({cause!r}); committed image v{version} remains "
-            f"restorable, pod {state}")
+            f"({cause!r}); {image}, pod {state}")

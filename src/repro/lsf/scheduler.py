@@ -21,6 +21,31 @@ from repro.zap.checkpoint import scrub_pod_network
 from repro.zap.virtualization import uninstall_pod
 
 
+def least_loaded_target(cluster, exclude=(),
+                        node_alive: Optional[Callable[[int], bool]] = None
+                        ) -> Optional[int]:
+    """The live application node hosting the fewest pods, or ``None``.
+
+    The placement primitive shared by planned-maintenance draining and
+    the supervisor's suspect-state eviction: candidates are application
+    nodes outside ``exclude`` that are powered on and (per ``node_alive``,
+    when given — e.g. the supervisor's lease table) believed alive;
+    lowest index wins ties, so placement is deterministic.
+    """
+    candidates = []
+    for index in range(cluster.n_app_nodes):
+        if index in exclude or index in cluster.dead_nodes:
+            continue
+        alive = (node_alive(index) if node_alive is not None
+                 else not cluster.agents[index].crashed)
+        if alive:
+            candidates.append(index)
+    if not candidates:
+        return None
+    return min(candidates,
+               key=lambda index: (len(cluster.agents[index].pods), index))
+
+
 class JobState(enum.Enum):
     RUNNING = "RUNNING"
     SUSPENDED = "SUSPENDED"
@@ -115,15 +140,24 @@ class JobScheduler:
 
     def drain_node(self, node_index: int,
                    targets: Optional[Sequence[int]] = None) -> List[str]:
-        """Live-migrate every pod off a node (planned maintenance)."""
+        """Live-migrate every pod off a node (planned maintenance).
+
+        With no explicit ``targets``, each pod goes to the least-loaded
+        live node (re-evaluated per pod, so a big drain spreads out).
+        """
         node = self.cluster.nodes[node_index]
-        if targets is None:
-            targets = [i for i in range(self.cluster.n_app_nodes)
-                       if i != node_index and i not in self.failed_nodes]
         moved = []
         agent = self.cluster.agents[node_index]
         for slot, pod in enumerate(list(agent.pods.values())):
-            target = targets[slot % len(targets)]
+            if targets is None:
+                target = least_loaded_target(
+                    self.cluster,
+                    exclude=set(self.failed_nodes) | {node_index})
+                if target is None:
+                    raise ReproError(
+                        f"drain of node{node_index}: no live target")
+            else:
+                target = targets[slot % len(targets)]
             new_pod = self.cluster.migrate_pod(pod, target)
             moved.append(new_pod.name)
             for job in self.jobs.values():

@@ -107,6 +107,21 @@ class AddressSpace:
         """Called after an incremental checkpoint has written dirty pages."""
         self.dirty_pages.clear()
 
+    def clear_dirty_captured(self, captured: "AddressSpace") -> None:
+        """Retire dirty bits covered by a *committed* snapshot.
+
+        A page is cleared only when its current write version equals the
+        version the ``captured`` snapshot holds — a page re-written after
+        the capture (the concurrent-write window of §5.2, or any pre-copy
+        round) keeps its dirty bit so the next incremental checkpoint
+        ships the newer content. Callers must invoke this only after the
+        store commit succeeds; an aborted save leaves every bit intact.
+        """
+        for page in [p for p in self.dirty_pages
+                     if captured.page_versions.get(p)
+                     == self.page_versions.get(p)]:
+            self.dirty_pages.discard(page)
+
     def snapshot(self) -> "AddressSpace":
         """A deep, independent copy for a checkpoint image."""
         copy = AddressSpace()

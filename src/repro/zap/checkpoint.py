@@ -123,6 +123,8 @@ class CheckpointEngine:
                                   + (pipeline_s - serialize_s))
                 image.version = self.store.save(image, mode=mode,
                                                 plan=plan)
+            if incremental:
+                self._retire_dirty(pod, image)
         else:
             if on_captured is not None:
                 on_captured()
@@ -133,11 +135,25 @@ class CheckpointEngine:
                             pod=pod.name, write_bytes=write_bytes):
                 yield sim.timeout(costs.checkpoint_fixed +
                                   write_bytes / costs.disk_write_bandwidth)
+            if incremental:
+                self._retire_dirty(pod, image)
         node.trace.emit(sim.now, "checkpoint", node=node.name,
                         **image.summary())
         if resume and not concurrent:
             pod.continue_all()
         return image
+
+    @staticmethod
+    def _retire_dirty(pod: Pod, image: CheckpointImage) -> None:
+        """After a *committed* incremental save, retire the dirty bits
+        the image covers. Pages re-dirtied between capture and commit
+        (the concurrent-write window) stay dirty for the next round."""
+        by_vpid = {proc_image.vpid: proc_image
+                   for proc_image in image.processes}
+        for proc in pod.live_processes():
+            captured = by_vpid.get(pod.vpid_of(proc.pid))
+            if captured is not None:
+                proc.memory.clear_dirty_captured(captured.memory)
 
     # -- state extraction (instantaneous) ------------------------------------
 
@@ -181,10 +197,13 @@ class CheckpointEngine:
             state_bytes += (proc.memory.resident_bytes + len(program_blob)
                             + PROCESS_OVERHEAD_BYTES)
             if incremental:
+                # Dirty bits are NOT retired here: the save has not
+                # committed yet. ``checkpoint`` clears them (per page,
+                # via the captured snapshot) only after the store commit
+                # succeeds, so an aborted save never loses pages.
                 written_bytes += (proc.memory.dirty_bytes()
                                   + len(program_blob)
                                   + PROCESS_OVERHEAD_BYTES)
-                proc.memory.clear_dirty()
 
         self._capture_ipc(pod, image)
 

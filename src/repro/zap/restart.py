@@ -29,13 +29,24 @@ class RestartEngine:
 
     def restart(self, image: CheckpointImage, node: Node,
                 resume: bool = True,
-                own_wire_mac: Optional[bool] = None) -> Generator:
-        """A simulation coroutine; its value is the recreated pod."""
+                own_wire_mac: Optional[bool] = None,
+                warm_bytes: int = 0) -> Generator:
+        """A simulation coroutine; its value is the recreated pod.
+
+        ``warm_bytes`` — bytes of the image already staged on the target
+        (a pre-copy migration prefetches chunk rounds while the source
+        keeps running); only the cold remainder is charged against the
+        disk read bandwidth.
+        """
         sim, costs = node.sim, node.costs
         # Read the image back from the network filesystem.
+        cold_bytes = max(0, image.state_bytes - warm_bytes)
         yield sim.timeout(costs.restart_fixed +
-                          image.state_bytes / costs.disk_read_bandwidth)
+                          cold_bytes / costs.disk_read_bandwidth)
         pod = self.instantiate(image, node, own_wire_mac=own_wire_mac)
+        sanitizer = node.trace.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_restored_memory(image, pod, time=sim.now)
         if image.sockets_captured:
             yield sim.timeout(
                 costs.socket_capture_time * image.sockets_captured)
