@@ -28,14 +28,14 @@ def run_epochs(mode):
         slm_factory(N_RANKS, global_rows=16, cols=2048, steps=10_000,
                     memory_mb_per_rank=WORKSPACE_MB))
     cluster.run_for(0.3)
-    chunks = cluster.store.chunks
+    store = cluster.store
     per_epoch = []
     for _epoch in range(EPOCHS):
-        before = chunks.bytes_written
+        before = store.stats["bytes_written"]
         cluster.checkpoint_app(
             app, incremental=(mode == "incremental"),
             dedup=(mode == "dedup"))
-        per_epoch.append(chunks.bytes_written - before)
+        per_epoch.append(store.stats["bytes_written"] - before)
         # Long enough to clear the post-checkpoint TCP backoff and make
         # real forward progress (grid touches) before the next epoch.
         cluster.run_for(0.5)

@@ -49,7 +49,7 @@ def state_hash(cluster) -> str:
     refcounts, every pod's stored versions, and the simulation clock."""
     store = cluster.store
     state = {
-        "refcounts": sorted(store.chunks.refcounts.items()),
+        "refcounts": sorted(store.refcounts().items()),
         "versions": {pod_name: store.versions(pod_name)
                      for pod_name in sorted(store._latest)},
         "wal_epochs": store.rounds.epochs(),

@@ -19,6 +19,9 @@ CRZ005    ``spans.begin(...)`` in a function with no matching
 CRZ006    ``id()``-based ordering or keying (sort keys, comparisons,
           heap entries, dict subscripts/lookups) — allocation
           addresses are not deterministic
+CRZ007    deprecated ``store.chunks`` access — the flat chunk table is
+          a shared-filesystem assumption; go through the
+          ``ImageStore`` facade / ``StoreBackend`` API instead
 ========  ==========================================================
 
 Any violation can be suppressed on its line with ``# cruz: noqa`` (all
@@ -67,6 +70,12 @@ RULES: Dict[str, tuple] = {
         "id() is an allocation address and varies run to run; order or "
         "key by a stable value (name, sequence number, attribute) "
         "instead",
+    ),
+    "CRZ007": (
+        "deprecated store.chunks access",
+        "the flat chunk table assumes a shared filesystem; use the "
+        "ImageStore facade (stats/refcounts()/backend) so the code "
+        "works against any StoreBackend",
     ),
 }
 
@@ -223,6 +232,19 @@ class _Linter(ast.NodeVisitor):
         if isinstance(value, ast.Name) and value.id == "spans":
             return True
         return isinstance(value, ast.Attribute) and value.attr == "spans"
+
+    # -- CRZ007: deprecated store.chunks access ---------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "chunks" and self._receiver_is_store(node.value):
+            self._flag(node, "CRZ007")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _receiver_is_store(value: ast.AST) -> bool:
+        if isinstance(value, ast.Name) and value.id == "store":
+            return True
+        return isinstance(value, ast.Attribute) and value.attr == "store"
 
     def _check_wallclock(self, node: ast.Call, func: ast.Attribute) -> None:
         if self.rand_exempt:

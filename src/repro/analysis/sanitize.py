@@ -10,9 +10,13 @@ SAN-TCP-SEQ        per-segment §5.1 sequence invariants in
                    ``rcv_nxt`` never rolls back, receive buffer and TCB
                    agree on ``rcv_nxt``)
 SAN-REFCOUNT       chunk-store refcount audit in ``cruz/storage.py``:
-                   no orphan chunk files, no dangling references, no
-                   negative counts, in-memory counts match the
-                   manifests on disk
+                   no orphan chunk files on any shard, no dangling
+                   references, no negative counts, in-memory counts
+                   match the manifests on disk; under the sharded
+                   backend the deep audit also re-derives every
+                   chunk's surviving replica set, so a chunk with no
+                   live copy on any node is a dangling reference even
+                   if its refcount agrees
 SAN-WAL-EPOCH      WAL epoch monotonicity in the coordinator (a round
                    must start with an epoch above every logged one)
 SAN-NETFILTER-LEAK end-of-round drop-rule leak checks in
@@ -172,7 +176,8 @@ class Sanitizer:
                     context: str = "", deep: bool = False) -> None:
         """Refcount audit of an :class:`ImageStore` (see its ``audit``
         method); ``deep=True`` re-reads every manifest and also checks
-        for missing/orphan chunk files."""
+        for missing/orphan chunk files — per shard under the sharded
+        backend, where "missing" means no live replica anywhere."""
         for problem in store.audit(deep=deep):
             kind = problem.pop("kind")
             cid = problem.get("cid", "")

@@ -54,6 +54,14 @@ class ChaosResult:
     evict_mode: bool = False
     #: One entry per suspect-state live eviction (``supervisor.evictions``).
     evictions: List[Dict[str, Any]] = field(default_factory=list)
+    #: Storage-loss mode: the crashed node held chunk replicas, no pods.
+    kill_replica_mode: bool = False
+    #: Chunks the re-replication daemon repaired after the loss.
+    rereplicated_chunks: int = 0
+    #: Chunks still below target replication when the run ended.
+    under_replicated_after: int = 0
+    #: Every committed version still reconstructible from survivors.
+    versions_reconstructible: bool = False
 
     @property
     def mttr_s(self) -> Optional[float]:
@@ -76,6 +84,15 @@ class ChaosResult:
                     and all(entry.get("ok")
                             and entry.get("before_declaration")
                             for entry in self.evictions))
+        if self.kill_replica_mode:
+            # Pure storage loss: the dead node hosted no pods, so no
+            # failover may fire — but every committed version must stay
+            # reconstructible and the re-replication daemon must have
+            # repaired the chunk space back to full replication.
+            return (base and not self.failovers
+                    and self.versions_reconstructible
+                    and self.rereplicated_chunks > 0
+                    and self.under_replicated_after == 0)
         return base and bool(self.failovers)
 
     def render(self) -> str:
@@ -114,6 +131,12 @@ class ChaosResult:
                     f"{entry.get('reason', '?')}")
         for reason in self.failover_failures:
             lines.append(f"  failover FAILED: {reason}")
+        if self.kill_replica_mode:
+            lines.append(
+                f"  replica loss: rereplicated="
+                f"{self.rereplicated_chunks} "
+                f"under_replicated={self.under_replicated_after} "
+                f"reconstructible={self.versions_reconstructible}")
         lines.append(f"  {self.sanitizer_report.splitlines()[0]}")
         return "\n".join(lines)
 
@@ -133,6 +156,7 @@ def run_chaos(seed: int = 7,
               revive_after: Optional[float] = None,
               link_flap: bool = True,
               evict_on_suspect: bool = False,
+              kill_replica: bool = False,
               tiebreak: str = "fifo",
               limit_s: float = 60.0) -> ChaosResult:
     """One seeded chaos run; see the module docstring for the scenario.
@@ -148,6 +172,15 @@ def run_chaos(seed: int = 7,
     migrate its pods to a healthy node while the node is still merely
     suspect — before the (false) death declaration — and the app must
     still finish bit-exact, proving no acknowledged data was lost.
+
+    With ``kill_replica`` the crash targets *storage*, not compute: the
+    cluster runs the sharded store at replication factor 2, and the
+    victim is the last application node — which hosts chunk replicas
+    but no pods under the default placement. Killing it mid-round must
+    not trigger any failover; instead every committed version must stay
+    reconstructible from the surviving replicas and the background
+    re-replication daemon must repair the chunk space back to full
+    replication before the run ends.
     """
     from repro.analysis.determinism import state_hash
     from repro.apps.slm import reference_solution, slm_factory
@@ -156,10 +189,21 @@ def run_chaos(seed: int = 7,
 
     rows = rows_per_rank * ranks
     result = ChaosResult(seed=seed, tiebreak=tiebreak,
-                         evict_mode=evict_on_suspect)
+                         evict_mode=evict_on_suspect,
+                         kill_replica_mode=kill_replica)
+    if kill_replica:
+        # The victim must be a replica-only node: the default placement
+        # packs the ranks onto the low-index nodes, so the last node
+        # holds chunk copies (rf=2 ring successors) but no pods.
+        if ranks >= app_nodes:
+            raise ValueError("kill_replica needs a pod-free node: "
+                             f"ranks={ranks} fills all {app_nodes} "
+                             "application nodes")
+        crash_node_index = app_nodes - 1
     cluster = CruzCluster(app_nodes, seed=seed, supervise=True,
                           sanitize=True, tiebreak=tiebreak,
-                          evict_on_suspect=evict_on_suspect)
+                          evict_on_suspect=evict_on_suspect,
+                          replication_factor=2 if kill_replica else None)
     app = cluster.launch_app_factory(
         "slm", ranks,
         slm_factory(ranks, global_rows=rows, cols=cols, steps=steps,
@@ -216,9 +260,13 @@ def run_chaos(seed: int = 7,
         chaos.schedule_node_crash_mid_round(
             crash_node_index, after=crash_at, within_s=crash_jitter_s,
             revive_after=revive_after)
-    if link_flap and not evict_on_suspect:
+    if link_flap and not evict_on_suspect and not kill_replica:
         # A survivor's link drops for less than the death threshold:
         # the detector must suspect and then stand down, not declare.
+        # (Skipped for the storage-loss scenario: the flap probes the
+        # failure detector, which the compute-crash scenario already
+        # covers, and its dropped app frames would only add
+        # retransmission noise to the healing measurement.)
         flap_node = (crash_node_index + 1) % app_nodes
         flap_misses = max(1, cluster.lease_misses - 2)
         chaos.schedule_link_flap(
@@ -263,6 +311,14 @@ def run_chaos(seed: int = 7,
     dropped = cluster.metrics.counter("link.frames_dropped")
     result.frames_dropped = int(dropped.value)
     result.chaos_log = list(chaos.log)
+    store = cluster.store
+    result.rereplicated_chunks = int(
+        store.stats.get("rereplicated_chunks", 0))
+    result.under_replicated_after = len(store.under_replicated())
+    result.versions_reconstructible = all(
+        set(store.versions(pod.name))
+        == set(store.reconstructible_versions(pod.name))
+        for pod in app.pods)
     result.state_hash = state_hash(cluster)
     return result
 
@@ -297,6 +353,9 @@ def chaos_determinism(seed: int = 7, **kwargs) -> List[str]:
                  "phases": fo["phases"]}
                 for fo in r.failovers],
             "chaos_log": r.chaos_log,
+            "replica": [r.rereplicated_chunks,
+                        r.under_replicated_after,
+                        r.versions_reconstructible],
             "sim_time": round(r.sim_time_s, 12),
         }
     _diff(runs["fifo"], runs["lifo"], "chaos", divergences)

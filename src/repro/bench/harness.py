@@ -1,10 +1,14 @@
-"""Shared benchmark utilities: result records, shape reports, tables."""
+"""Shared benchmark utilities: result records, shape reports, tables,
+and the one ``--save``/``--compare`` baseline tail every suite uses."""
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass
@@ -99,6 +103,92 @@ class ShapeReport:
             self.title or "shape checks",
             ["check", "verdict", "measured", "expected"],
             rows, note=verdict)
+
+
+def _load_json(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _write_json(path: str, report: Any) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def workload_matches(report: Dict[str, Any],
+                     baseline: Optional[Dict[str, Any]],
+                     suite: str) -> bool:
+    """The shared drift guard: baseline ratios only apply when the run's
+    workload matches the committed baseline's (a reduced-scale smoke run
+    is guarded by its explicit floors instead)."""
+    if baseline is None:
+        return False
+    if baseline.get("workload") == report.get("workload"):
+        return True
+    print(f"{suite}: workload differs from committed baseline; "
+          f"applying only the explicit floors")
+    return False
+
+
+def baseline_cli(*, baseline_path: str,
+                 save: bool,
+                 suite: str = "bench",
+                 run: Callable[[], Any],
+                 evaluate: Callable[[Any, Any], List[str]],
+                 render: Optional[Callable[[Any, Any], List[str]]] = None,
+                 load: Optional[Callable[[str], Any]] = None,
+                 write: Optional[Callable[[str, Any], None]] = None,
+                 require_baseline: bool = False,
+                 vet_before_save: bool = False) -> int:
+    """The one ``--save``/``--compare`` tail shared by every bench suite.
+
+    ``run()`` produces the suite's report (``None`` means the run itself
+    failed and already said why); ``evaluate(report, baseline)`` returns
+    failure strings (empty = pass, skipped on ``--save`` unless
+    ``vet_before_save`` refuses to record a failing run);
+    ``render(report, baseline)`` returns human-readable lines printed
+    before the verdict. ``load``/``write`` override how the baseline
+    file is parsed/recorded (pretty-printed JSON by default; a writer
+    may be a no-op when ``run`` produced the artifact itself).
+
+    Exit status: 0 pass, 1 failures, 2 unreadable baseline (or missing
+    when ``require_baseline``).
+    """
+    baseline = None
+    if not save:
+        if os.path.exists(baseline_path):
+            try:
+                baseline = (load or _load_json)(baseline_path)
+            except (json.JSONDecodeError, OSError, KeyError,
+                    TypeError) as exc:
+                print(f"unreadable baseline {baseline_path}: {exc}",
+                      file=sys.stderr)
+                return 2
+        elif require_baseline:
+            print(f"no baseline at {baseline_path}; run with --save "
+                  f"first", file=sys.stderr)
+            return 2
+    report = run()
+    if report is None:
+        return 1
+    if render is not None:
+        for line in render(report, baseline):
+            print(line)
+    failures: List[str] = []
+    if not save or vet_before_save:
+        failures = evaluate(report, baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if save:
+        (write or _write_json)(baseline_path, report)
+        print(f"saved {suite} baseline to {baseline_path}")
+    else:
+        print(f"{suite} benchmark within tolerance")
+    return 0
 
 
 def render_table(title: str, headers: List[str],

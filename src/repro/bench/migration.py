@@ -28,9 +28,6 @@ simulated seconds, so they travel across machines.
 
 from __future__ import annotations
 
-import json
-import os
-import sys
 from typing import Dict, List, Optional
 
 DEFAULT_BASELINE = "benchmarks/BENCH_migration.json"
@@ -230,37 +227,28 @@ def evaluate(report: Dict[str, object],
     if report["divergences"]:
         failures.append(
             f"fifo/lifo divergence: {report['divergences'][:3]}")
-    if baseline is not None:
-        if baseline.get("workload") == report["workload"]:
-            recorded = float(baseline.get("pause_ratio", 0.0))
-            ceiling = recorded * (1.0 + tolerance)
-            if recorded > 0 and ratio > ceiling:
-                failures.append(
-                    f"pause ratio {ratio:.4f} drifted more than "
-                    f"{tolerance:.0%} above the committed baseline's "
-                    f"{recorded:.4f}")
-        else:
-            print("migration: workload differs from committed baseline; "
-                  "applying only the explicit floors")
+    from repro.bench.harness import workload_matches
+
+    if workload_matches(report, baseline, "migration"):
+        recorded = float(baseline.get("pause_ratio", 0.0))
+        ceiling = recorded * (1.0 + tolerance)
+        if recorded > 0 and ratio > ceiling:
+            failures.append(
+                f"pause ratio {ratio:.4f} drifted more than "
+                f"{tolerance:.0%} above the committed baseline's "
+                f"{recorded:.4f}")
     return failures
 
 
 def save_baseline(baseline_path: str = DEFAULT_BASELINE,
                   **workload) -> int:
-    report = run_suite(**workload)
-    for line in render(report):
-        print(line)
-    failures = evaluate(report, baseline=None)
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
-    with open(baseline_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"saved migration baseline to {baseline_path}")
-    return 0
+    from repro.bench.harness import baseline_cli
+    return baseline_cli(
+        baseline_path=baseline_path, save=True, suite="migration",
+        run=lambda: run_suite(**workload),
+        evaluate=evaluate,
+        render=lambda report, _baseline: render(report),
+        vet_before_save=True)
 
 
 def check(baseline_path: str = DEFAULT_BASELINE,
@@ -268,23 +256,11 @@ def check(baseline_path: str = DEFAULT_BASELINE,
           max_rounds: int = DEFAULT_MAX_ROUNDS,
           tolerance: float = DEFAULT_TOLERANCE,
           **workload) -> int:
-    baseline = None
-    if os.path.exists(baseline_path):
-        try:
-            with open(baseline_path, "r", encoding="utf-8") as handle:
-                baseline = json.load(handle)
-        except (json.JSONDecodeError, OSError) as exc:
-            print(f"unreadable baseline {baseline_path}: {exc}",
-                  file=sys.stderr)
-            return 2
-    report = run_suite(**workload)
-    for line in render(report):
-        print(line)
-    failures = evaluate(report, baseline, max_pause_ratio=max_pause_ratio,
-                        max_rounds=max_rounds, tolerance=tolerance)
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("migration benchmark within tolerance")
-    return 0
+    from repro.bench.harness import baseline_cli
+    return baseline_cli(
+        baseline_path=baseline_path, save=False, suite="migration",
+        run=lambda: run_suite(**workload),
+        evaluate=lambda report, baseline: evaluate(
+            report, baseline, max_pause_ratio=max_pause_ratio,
+            max_rounds=max_rounds, tolerance=tolerance),
+        render=lambda report, _baseline: render(report))

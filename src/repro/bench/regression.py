@@ -82,50 +82,58 @@ def run_benchmarks(json_path: str) -> int:
 
 
 def save_baseline(baseline_path: str = DEFAULT_BASELINE) -> int:
-    status = run_benchmarks(baseline_path)
-    if status == 0:
-        names = load_report(baseline_path)
-        print(f"saved baseline for {len(names)} benchmarks "
-              f"to {baseline_path}")
-    return status
+    from repro.bench.harness import baseline_cli
+
+    def run():
+        # pytest-benchmark writes the baseline artifact itself; a failed
+        # run leaves nothing worth recording.
+        if run_benchmarks(baseline_path) != 0:
+            print("benchmark run failed", file=sys.stderr)
+            return None
+        return load_report(baseline_path)
+
+    return baseline_cli(
+        baseline_path=baseline_path, save=True, suite="fig5",
+        run=run,
+        evaluate=lambda report, baseline: [],
+        render=lambda report, _baseline: [
+            f"recorded means for {len(report)} benchmarks"],
+        write=lambda path, report: None)  # run() already wrote the file
 
 
 def check_regression(baseline_path: str = DEFAULT_BASELINE,
                      tolerance: float = DEFAULT_TOLERANCE) -> int:
     """Re-run the benchmarks and compare; exit status 1 on regression."""
-    if not os.path.exists(baseline_path):
-        print(f"no baseline at {baseline_path}; run "
-              f"`python -m repro bench --save` first", file=sys.stderr)
-        return 2
-    try:
-        # Parse the baseline BEFORE the (minutes-long) benchmark run.
-        baseline = load_report(baseline_path)
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
-        print(f"unreadable baseline {baseline_path}: {exc}",
-              file=sys.stderr)
-        return 2
-    with tempfile.TemporaryDirectory() as tmp:
-        current_path = os.path.join(tmp, "bench.json")
-        status = run_benchmarks(current_path)
-        if status != 0:
-            print("benchmark run failed", file=sys.stderr)
-            return status
-        rows = compare_reports(baseline, load_report(current_path),
-                               tolerance=tolerance)
-    if not rows:
-        print("no overlapping benchmarks between baseline and current",
-              file=sys.stderr)
-        return 2
-    failed = False
-    for row in rows:
-        verdict = "REGRESSED" if row.regressed else "ok"
-        print(f"{row.name}: baseline {row.baseline_s:.4f}s "
-              f"current {row.current_s:.4f}s "
-              f"({row.ratio:.2f}x baseline) {verdict}")
-        failed = failed or row.regressed
-    if failed:
-        print(f"FAIL: wall-clock regression exceeds "
-              f"{tolerance:.0%} tolerance", file=sys.stderr)
-        return 1
-    print("benchmark wall-clock within tolerance")
-    return 0
+    from repro.bench.harness import baseline_cli
+
+    def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            current_path = os.path.join(tmp, "bench.json")
+            if run_benchmarks(current_path) != 0:
+                print("benchmark run failed", file=sys.stderr)
+                return None
+            return load_report(current_path)
+
+    def _render(current, baseline):
+        lines = []
+        for row in compare_reports(baseline, current,
+                                   tolerance=tolerance):
+            verdict = "REGRESSED" if row.regressed else "ok"
+            lines.append(f"{row.name}: baseline {row.baseline_s:.4f}s "
+                         f"current {row.current_s:.4f}s "
+                         f"({row.ratio:.2f}x baseline) {verdict}")
+        return lines
+
+    def _evaluate(current, baseline):
+        rows = compare_reports(baseline, current, tolerance=tolerance)
+        if not rows:
+            return ["no overlapping benchmarks between baseline and "
+                    "current"]
+        return [f"{row.name}: wall-clock regression exceeds "
+                f"{tolerance:.0%} tolerance ({row.ratio:.2f}x baseline)"
+                for row in rows if row.regressed]
+
+    return baseline_cli(
+        baseline_path=baseline_path, save=False, suite="fig5",
+        run=run, evaluate=_evaluate, render=_render,
+        load=load_report, require_baseline=True)

@@ -37,9 +37,6 @@ needs a real clock, hence the CRZ001 suppressions below.
 
 from __future__ import annotations
 
-import json
-import os
-import sys
 import time
 from typing import Dict, List, Optional
 
@@ -383,15 +380,12 @@ def render(report: Dict[str, object]) -> List[str]:
 
 def save_baseline(baseline_path: str = DEFAULT_BASELINE,
                   **workload) -> int:
-    report = run_suite(**workload)
-    for line in render(report):
-        print(line)
-    os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
-    with open(baseline_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"saved simcore baseline to {baseline_path}")
-    return 0
+    from repro.bench.harness import baseline_cli
+    return baseline_cli(
+        baseline_path=baseline_path, save=True, suite="simcore",
+        run=lambda: run_suite(**workload),
+        evaluate=evaluate,
+        render=lambda report, _baseline: render(report))
 
 
 def evaluate(report: Dict[str, object],
@@ -406,27 +400,25 @@ def evaluate(report: Dict[str, object],
     workload matches the committed baseline's — a reduced-scale smoke
     run is guarded by its own explicit floor instead.
     """
+    from repro.bench.harness import workload_matches
+
     failures = []
     speedup = float(report["speedup"])
     if speedup < min_speedup:
         failures.append(
             f"storm: fast scheduler is only {speedup:.2f}x legacy "
             f"(floor {min_speedup:.1f}x)")
-    if baseline is not None:
-        if baseline.get("workload") == report["workload"]:
-            for key, label in (("speedup", "storm"),
-                               ("flows_speedup", "flows")):
-                recorded = float(baseline.get(key, 0.0))
-                measured = float(report.get(key, 0.0))
-                floor = recorded * (1.0 - tolerance)
-                if measured < floor:
-                    failures.append(
-                        f"{label} speedup {measured:.2f}x dropped more "
-                        f"than {tolerance:.0%} below the committed "
-                        f"baseline's {recorded:.2f}x")
-        else:
-            print("simcore: workload differs from committed baseline; "
-                  "applying only the explicit speedup floor")
+    if workload_matches(report, baseline, "simcore"):
+        for key, label in (("speedup", "storm"),
+                           ("flows_speedup", "flows")):
+            recorded = float(baseline.get(key, 0.0))
+            measured = float(report.get(key, 0.0))
+            floor = recorded * (1.0 - tolerance)
+            if measured < floor:
+                failures.append(
+                    f"{label} speedup {measured:.2f}x dropped more "
+                    f"than {tolerance:.0%} below the committed "
+                    f"baseline's {recorded:.2f}x")
     workload = report["workload"]
     for label in ("storm", "flows"):
         for name in ("legacy", "fast"):
@@ -442,23 +434,11 @@ def check(baseline_path: str = DEFAULT_BASELINE,
           min_speedup: float = DEFAULT_MIN_SPEEDUP,
           tolerance: float = DEFAULT_TOLERANCE,
           **workload) -> int:
-    baseline = None
-    if os.path.exists(baseline_path):
-        try:
-            with open(baseline_path, "r", encoding="utf-8") as handle:
-                baseline = json.load(handle)
-        except (json.JSONDecodeError, OSError) as exc:
-            print(f"unreadable baseline {baseline_path}: {exc}",
-                  file=sys.stderr)
-            return 2
-    report = run_suite(**workload)
-    for line in render(report):
-        print(line)
-    failures = evaluate(report, baseline, min_speedup=min_speedup,
-                        tolerance=tolerance)
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("simcore benchmark within tolerance")
-    return 0
+    from repro.bench.harness import baseline_cli
+    return baseline_cli(
+        baseline_path=baseline_path, save=False, suite="simcore",
+        run=lambda: run_suite(**workload),
+        evaluate=lambda report, baseline: evaluate(
+            report, baseline, min_speedup=min_speedup,
+            tolerance=tolerance),
+        render=lambda report, _baseline: render(report))

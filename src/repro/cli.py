@@ -201,13 +201,27 @@ def _cmd_bench(args) -> int:
         from repro.bench import migration
         baseline = args.baseline or migration.DEFAULT_BASELINE
         workload = {"ranks": args.ranks,
-                    "memory_mb_per_rank": args.memory_mb}
+                    "memory_mb_per_rank": args.memory_mb
+                    if args.memory_mb is not None else 100.0}
         if args.save:
             status = migration.save_baseline(baseline, **workload)
         else:
             status = migration.check(
                 baseline, max_pause_ratio=args.max_pause_ratio,
                 tolerance=args.tolerance, **workload)
+    elif args.suite == "store":
+        from repro.bench import store
+        baseline = args.baseline or store.DEFAULT_BASELINE
+        workload = {"app_nodes": args.app_nodes,
+                    "memory_mb": args.memory_mb
+                    if args.memory_mb is not None
+                    else store.DEFAULT_MEMORY_MB}
+        if args.save:
+            status = store.save_baseline(baseline, **workload)
+        else:
+            status = store.check(baseline,
+                                 min_scaling=args.min_scaling,
+                                 tolerance=args.tolerance, **workload)
     else:
         from repro.bench import regression
         baseline = args.baseline or "benchmarks/BENCH_fig5.json"
@@ -349,11 +363,14 @@ def _cmd_chaos(args) -> int:
 
     result = run_chaos(seed=args.seed, crash_node_index=args.crash_node,
                        link_flap=not args.no_flap,
-                       evict_on_suspect=args.evict_on_suspect)
+                       evict_on_suspect=args.evict_on_suspect,
+                       kill_replica=args.kill_replica)
     divergences: List[str] = []
     if args.check_determinism:
         divergences = chaos_determinism(
-            seed=args.seed, evict_on_suspect=args.evict_on_suspect)
+            seed=args.seed, link_flap=not args.no_flap,
+            evict_on_suspect=args.evict_on_suspect,
+            kill_replica=args.kill_replica)
     ok = result.ok and not divergences
     if args.json:
         _emit_json({
@@ -434,11 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock regression guards (fig5 round time, "
              "simcore events/sec)")
     bench.add_argument("suite", nargs="?", default="fig5",
-                       choices=["fig5", "simcore", "migration"],
+                       choices=["fig5", "simcore", "migration", "store"],
                        help="fig5: checkpoint-round wall clock; "
                             "simcore: scheduler events/sec speedup; "
                             "migration: pre-copy vs stop-and-copy "
-                            "pause windows")
+                            "pause windows; store: sharded-restore "
+                            "bandwidth scaling and healing")
     bench.add_argument("--save", action="store_true",
                        help="record a new baseline instead of comparing")
     bench.add_argument("--compare", action="store_true",
@@ -459,12 +477,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "speedup (default 5.0)")
     bench.add_argument("--ranks", type=int, default=2,
                        help="migration: slm ranks (default 2)")
-    bench.add_argument("--memory-mb", type=float, default=100.0,
-                       help="migration: per-rank state size in MB "
-                            "(default 100, the fig5 scale)")
+    bench.add_argument("--memory-mb", type=float, default=None,
+                       help="per-rank state size in MB (default 100 "
+                            "for migration, 16 for store)")
     bench.add_argument("--max-pause-ratio", type=float, default=0.25,
                        help="migration: required pre-copy pause as a "
                             "fraction of stop-and-copy (default 0.25)")
+    bench.add_argument("--app-nodes", type=int, default=5,
+                       help="store: application node count (default 5)")
+    bench.add_argument("--min-scaling", type=float, default=3.0,
+                       help="store: required restore bandwidth growth "
+                            "from rf=1 to the largest rf (default 3.0)")
     bench.set_defaults(fn=_cmd_bench)
 
     lint = sub.add_parser(
@@ -507,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mute a healthy node's heartbeats instead "
                             "of crashing it; its pods must be live-"
                             "migrated away before the declaration")
+    chaos.add_argument("--kill-replica", action="store_true",
+                       help="crash a replica-only storage node mid-"
+                            "round at rf=2: no failover may fire, "
+                            "every committed version must stay "
+                            "reconstructible, and re-replication must "
+                            "heal the chunk space")
     chaos.add_argument("--check-determinism", action="store_true",
                        help="also replay under LIFO tie-breaking and "
                             "diff the fingerprints")

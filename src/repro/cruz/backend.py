@@ -1,0 +1,466 @@
+"""Pluggable chunk-storage backends for the checkpoint image store.
+
+PR 1's :class:`~repro.cruz.storage.ChunkStore` assumed one shared
+filesystem — a single implicit storage node, the last single point of
+failure in the reproduction. This module extracts the raw chunk IO into
+a :class:`StoreBackend` protocol with two implementations:
+
+``SharedFSBackend``
+    The legacy layout: one copy of every chunk under
+    ``/checkpoints/.chunks/``. Kept for compatibility (a bare
+    ``ImageStore(fs)`` still defaults to it) and as the degenerate
+    RF=1/one-shard baseline.
+
+``ShardedBackend``
+    The content-addressed chunk space sharded across the application
+    nodes with a configurable replication factor (RF). Placement is a
+    deterministic *hash ring* over node ids (virtual-node tokens,
+    ``sha256(f"{node}|{i}")``), with **writer affinity**: the node that
+    takes a checkpoint always holds the primary copy (restores on the
+    same node stay local — the paper's fig. 5 shape), and the RF-1
+    replicas go to the chunk's ring successors, so a pod's image spreads
+    across the cluster and a restore elsewhere can fetch from many
+    source disks in parallel.
+
+Availability is explicit: :meth:`ShardedBackend.mark_down` /
+:meth:`mark_up` mirror node power state. Copies on a powered-off node
+survive on its disk (they are *unavailable*, not lost) and are
+reconciled against the refcounts when the node revives. Who holds a
+chunk is discovered from the filesystem itself (shard path existence
+scanned in sorted node order) — no extra metadata plane that could
+itself be lost.
+
+All enumeration is sorted and all placement is a pure function of
+``(chunk id, writer, availability)``, so runs remain bit-identical
+under event tie-break perturbation (CruzSan's fifo/lifo check).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChunkMissingError, ReplicationError
+from repro.simos.filesystem import SharedFileSystem
+
+#: Virtual-node tokens per physical node; smooths the ring so replica
+#: load spreads evenly even with a handful of nodes.
+RING_TOKENS = 16
+
+
+@dataclass
+class PutResult:
+    """What one ``put_chunk`` physically did.
+
+    ``logical_write`` is True when the chunk's payload was (re)written
+    as a first-class copy — the byte movement the benchmarks count;
+    False means the primary copy already existed (dedup).
+    ``replica_copies``/``replica_bytes`` count the *additional* copies
+    created beyond the first, and ``dests`` names every node written.
+    """
+
+    logical_write: bool
+    replica_copies: int = 0
+    replica_bytes: int = 0
+    dests: Tuple[str, ...] = ()
+
+
+class StoreBackend:
+    """Protocol for chunk-space backends.
+
+    The four core operations — ``put_chunk``/``get_chunk``/``has``/
+    ``scan`` — are what :class:`~repro.cruz.storage.ChunkStore`
+    requires; the placement/availability surface defaults to the
+    single-shard degenerate forms so the legacy backend stays trivial.
+    """
+
+    kind = "base"
+    replication_factor = 1
+
+    def put_chunk(self, cid: str, payload: bytes,
+                  writer: Optional[str] = None,
+                  force: bool = False) -> PutResult:
+        raise NotImplementedError
+
+    def get_chunk(self, cid: str) -> bytes:
+        raise NotImplementedError
+
+    def has(self, cid: str) -> bool:
+        """At least one copy exists somewhere (up or down shards)."""
+        raise NotImplementedError
+
+    def scan(self) -> List[str]:
+        """Every chunk id with at least one copy, sorted."""
+        raise NotImplementedError
+
+    # -- placement / availability (degenerate defaults) --------------------
+
+    def available(self, cid: str) -> bool:
+        """At least one copy is readable right now."""
+        return self.has(cid)
+
+    def holders(self, cid: str) -> Tuple[str, ...]:
+        return ("shared-fs",) if self.has(cid) else ()
+
+    def live_holders(self, cid: str) -> Tuple[str, ...]:
+        return self.holders(cid)
+
+    def total_copies(self, cid: str) -> int:
+        return 1 if self.has(cid) else 0
+
+    def write_dests(self, cid: str, writer: Optional[str]) -> Tuple[str, ...]:
+        """Nodes whose disks a new copy of ``cid`` would be written to
+        (primary first) — drives the save pipeline's cost accounting."""
+        return ("disk",)
+
+    def delete(self, cid: str) -> Tuple[int, int]:
+        """Remove every *reachable* copy; returns (bytes, copies)."""
+        raise NotImplementedError
+
+    def mark_down(self, node_name: str) -> None:
+        pass
+
+    def mark_up(self, node_name: str) -> None:
+        pass
+
+    def under_replicated(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """(cid, live holders) for chunks below their live RF target."""
+        return []
+
+
+class SharedFSBackend(StoreBackend):
+    """Legacy single-shard layout on the shared filesystem."""
+
+    kind = "shared-fs"
+    replication_factor = 1
+
+    def __init__(self, fs: SharedFileSystem,
+                 root: str = "/checkpoints/.chunks"):
+        self.fs = fs
+        self.root = root
+
+    def _path(self, cid: str) -> str:
+        return f"{self.root}/{cid[:2]}/{cid}"
+
+    def put_chunk(self, cid: str, payload: bytes,
+                  writer: Optional[str] = None,
+                  force: bool = False) -> PutResult:
+        path = self._path(cid)
+        if self.fs.exists(path) and not force:
+            return PutResult(logical_write=False)
+        self.fs.write_file(path, payload)
+        return PutResult(logical_write=True, dests=("shared-fs",))
+
+    def get_chunk(self, cid: str) -> bytes:
+        path = self._path(cid)
+        if not self.fs.exists(path):
+            raise ChunkMissingError(cid, ("shared-fs",),
+                                    message=f"missing chunk {cid}")
+        return self.fs.read_at(path, 0, self.fs.size(path))
+
+    def has(self, cid: str) -> bool:
+        return self.fs.exists(self._path(cid))
+
+    def scan(self) -> List[str]:
+        return sorted(path.rsplit("/", 1)[-1]
+                      for path in self.fs.listdir(f"{self.root}/"))
+
+    def delete(self, cid: str) -> Tuple[int, int]:
+        path = self._path(cid)
+        if not self.fs.exists(path):
+            return 0, 0
+        nbytes = self.fs.size(path)
+        self.fs.unlink(path)
+        return nbytes, 1
+
+
+class ShardedBackend(StoreBackend):
+    """Replicated chunk shards on the application nodes' disks.
+
+    ``nodes`` are the shard-hosting node names (normally the app
+    nodes); ``replication_factor`` is the target copy count per chunk,
+    silently capped by the number of *up* shards at write time — a
+    degraded write stores what it can and relies on re-replication to
+    restore RF once capacity returns.
+    """
+
+    kind = "sharded"
+
+    def __init__(self, fs: SharedFileSystem, nodes: Sequence[str],
+                 replication_factor: int = 2,
+                 root: str = "/checkpoints/.shards"):
+        if not nodes:
+            raise ReplicationError(
+                "*", replication_factor,
+                message="ShardedBackend needs at least one shard node")
+        self.fs = fs
+        self.root = root
+        self.nodes: List[str] = sorted(nodes)
+        self.replication_factor = max(1, min(int(replication_factor),
+                                             len(self.nodes)))
+        self._up: Set[str] = set(self.nodes)
+        # The hash ring: RING_TOKENS virtual tokens per node, sorted by
+        # token hash. Placement walks clockwise from the chunk id.
+        ring: List[Tuple[str, str]] = []
+        for node in self.nodes:
+            for index in range(RING_TOKENS):
+                token = hashlib.sha256(
+                    f"{node}|{index}".encode()).hexdigest()
+                ring.append((token, node))
+        ring.sort()
+        self._ring = ring
+        self._ring_keys = [token for token, _node in ring]
+        # Hot-path caches. Placement is a pure function of the up-set,
+        # so results are memoized until mark_down/mark_up; the holder
+        # index mirrors the shard directories (every chunk mutation
+        # goes through this class, and re-attaching over an existing
+        # filesystem rebuilds it here). ``total_copies``, ``scan`` and
+        # ``scan_node`` stay filesystem-backed so the deep store audit
+        # checks ground truth rather than the index.
+        self._placement_cache: Dict[Tuple[str, Optional[str]],
+                                    Tuple[str, ...]] = {}
+        self._holder_index: Dict[str, Set[str]] = {}
+        for node in self.nodes:
+            for path in self.fs.listdir(f"{self.root}/{node}/"):
+                cid = path.rsplit("/", 1)[-1]
+                self._holder_index.setdefault(cid, set()).add(node)
+
+    # -- ring placement ----------------------------------------------------
+
+    def _successors(self, cid: str) -> Iterator[str]:
+        """Distinct node names clockwise from ``cid`` on the ring."""
+        start = bisect.bisect_left(self._ring_keys, cid)
+        seen: Set[str] = set()
+        for offset in range(len(self._ring)):
+            _token, node = self._ring[(start + offset) % len(self._ring)]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+    def placement(self, cid: str,
+                  writer: Optional[str] = None) -> Tuple[str, ...]:
+        """The up nodes that should hold ``cid``, primary first.
+
+        Writer affinity: a known writer always takes the primary copy,
+        and the remaining RF-1 copies go to the chunk's ring successors
+        (skipping the writer and any down node).
+        """
+        key = (cid, writer)
+        cached = self._placement_cache.get(key)
+        if cached is not None:
+            return cached
+        dests: List[str] = []
+        if writer is not None and writer in self._up:
+            dests.append(writer)
+        if len(dests) < self.replication_factor:
+            ring = self._ring
+            count = len(ring)
+            start = bisect.bisect_left(self._ring_keys, cid)
+            for offset in range(count):
+                node = ring[(start + offset) % count][1]
+                if node in self._up and node not in dests:
+                    dests.append(node)
+                    if len(dests) >= self.replication_factor:
+                        break
+        result = tuple(dests)
+        self._placement_cache[key] = result
+        return result
+
+    def repair_dest(self, cid: str) -> Optional[str]:
+        """The next up non-holder in ring order, for re-replication."""
+        holding = set(self.holders(cid))
+        for node in self._successors(cid):
+            if node in self._up and node not in holding:
+                return node
+        return None
+
+    # -- core protocol -----------------------------------------------------
+
+    def _path(self, node: str, cid: str) -> str:
+        return f"{self.root}/{node}/{cid[:2]}/{cid}"
+
+    def put_chunk(self, cid: str, payload: bytes,
+                  writer: Optional[str] = None,
+                  force: bool = False) -> PutResult:
+        dests = self.placement(cid, writer=writer)
+        current = self._holder_index.get(cid)
+        if current is None:
+            current = self._holder_index[cid] = set()
+        logical = force or not current
+        written: List[str] = []
+        replica_copies = 0
+        replica_bytes = 0
+        root = self.root
+        prefix = cid[:2]
+        write_file = self.fs.write_file
+        for index, node in enumerate(dests):
+            existed = node in current
+            if existed and not force:
+                continue
+            write_file(f"{root}/{node}/{prefix}/{cid}", payload)
+            current.add(node)
+            written.append(node)
+            is_extra_copy = (index > 0) or (not logical)
+            if is_extra_copy and not existed:
+                replica_copies += 1
+                replica_bytes += len(payload)
+        if not current:
+            del self._holder_index[cid]
+        if logical and not written:
+            # force-rewrite with every dest already holding a copy:
+            # the legacy layout recounted this as a write; keep that.
+            written = list(dests)
+        return PutResult(logical_write=logical,
+                         replica_copies=replica_copies,
+                         replica_bytes=replica_bytes,
+                         dests=tuple(written))
+
+    def get_chunk(self, cid: str) -> bytes:
+        current = self._holder_index.get(cid)
+        if current:
+            for node in sorted(current):
+                if node in self._up:
+                    path = self._path(node, cid)
+                    return self.fs.read_at(path, 0, self.fs.size(path))
+        queried = self.up_nodes
+        raise ChunkMissingError(cid, queried,
+                                message=f"missing chunk {cid} "
+                                        f"(queried: {', '.join(queried) or 'no up nodes'})")
+
+    def has(self, cid: str) -> bool:
+        return bool(self._holder_index.get(cid))
+
+    def scan(self) -> List[str]:
+        found: Set[str] = set()
+        for node in self.nodes:
+            for path in self.fs.listdir(f"{self.root}/{node}/"):
+                found.add(path.rsplit("/", 1)[-1])
+        return sorted(found)
+
+    def scan_node(self, node: str) -> List[str]:
+        return sorted(path.rsplit("/", 1)[-1]
+                      for path in self.fs.listdir(f"{self.root}/{node}/"))
+
+    # -- placement / availability ------------------------------------------
+
+    def available(self, cid: str) -> bool:
+        current = self._holder_index.get(cid)
+        return bool(current) and any(node in self._up for node in current)
+
+    def holders(self, cid: str) -> Tuple[str, ...]:
+        return tuple(sorted(self._holder_index.get(cid, ())))
+
+    def live_holders(self, cid: str) -> Tuple[str, ...]:
+        return tuple(node for node in sorted(self._holder_index.get(cid, ()))
+                     if node in self._up)
+
+    def total_copies(self, cid: str) -> int:
+        # Deliberately filesystem-backed: the deep store audit uses
+        # this as ground truth against the in-memory holder index.
+        return sum(1 for node in self.nodes
+                   if self.fs.exists(self._path(node, cid)))
+
+    def write_dests(self, cid: str, writer: Optional[str]) -> Tuple[str, ...]:
+        return self.placement(cid, writer=writer)
+
+    def chunk_size(self, cid: str) -> int:
+        for node in sorted(self._holder_index.get(cid, ())):
+            return self.fs.size(self._path(node, cid))
+        return 0
+
+    def delete(self, cid: str) -> Tuple[int, int]:
+        """Unlink reachable copies; down-node copies are reconciled on
+        revive (see :meth:`ImageStore.reconcile_node`)."""
+        nbytes = 0
+        copies = 0
+        current = self._holder_index.get(cid)
+        if not current:
+            return 0, 0
+        for node in sorted(current):
+            if node not in self._up:
+                continue
+            path = self._path(node, cid)
+            nbytes = self.fs.size(path)
+            self.fs.unlink(path)
+            current.discard(node)
+            copies += 1
+        if not current:
+            del self._holder_index[cid]
+        return nbytes, copies
+
+    def delete_on(self, node: str, cid: str) -> int:
+        current = self._holder_index.get(cid)
+        if not current or node not in current:
+            return 0
+        path = self._path(node, cid)
+        nbytes = self.fs.size(path)
+        self.fs.unlink(path)
+        current.discard(node)
+        if not current:
+            del self._holder_index[cid]
+        return nbytes
+
+    # -- availability / repair ---------------------------------------------
+
+    def mark_down(self, node_name: str) -> None:
+        self._up.discard(node_name)
+        self._placement_cache.clear()
+
+    def mark_up(self, node_name: str) -> None:
+        if node_name in self.nodes:
+            self._up.add(node_name)
+            self._placement_cache.clear()
+
+    @property
+    def up_nodes(self) -> Tuple[str, ...]:
+        return tuple(node for node in self.nodes if node in self._up)
+
+    def under_replicated(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Chunks whose live copy count is below the live RF target.
+
+        Chunks with *zero* live copies are excluded — they cannot be
+        repaired from here (the deep store audit reports them if they
+        are still referenced).
+        """
+        target = min(self.replication_factor, len(self.up_nodes))
+        out: List[Tuple[str, Tuple[str, ...]]] = []
+        for cid in self.scan():
+            live = self.live_holders(cid)
+            if 0 < len(live) < target:
+                out.append((cid, live))
+        return out
+
+    def replicate(self, cid: str, dest: str) -> int:
+        """Copy ``cid`` from a surviving replica to ``dest``."""
+        live = self.live_holders(cid)
+        if not live:
+            raise ReplicationError(cid, self.replication_factor, live)
+        payload = self.fs.read_at(
+            self._path(live[0], cid), 0,
+            self.fs.size(self._path(live[0], cid)))
+        self.fs.write_file(self._path(dest, cid), payload)
+        self._holder_index.setdefault(cid, set()).add(dest)
+        return len(payload)
+
+
+def backend_config(backend: StoreBackend) -> Dict[str, object]:
+    """The pickled ``.store`` record describing a backend layout."""
+    record: Dict[str, object] = {"kind": backend.kind,
+                                 "rf": backend.replication_factor}
+    if isinstance(backend, ShardedBackend):
+        record["nodes"] = list(backend.nodes)
+        record["root"] = backend.root
+    return record
+
+
+def backend_from_config(fs: SharedFileSystem,
+                        record: Dict[str, object]) -> StoreBackend:
+    """Rebuild a backend from a ``.store`` record (fresh availability)."""
+    if record.get("kind") == "sharded":
+        return ShardedBackend(
+            fs, nodes=record["nodes"],
+            replication_factor=record["rf"],
+            root=record.get("root", "/checkpoints/.shards"))
+    return SharedFSBackend(fs)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster import Cluster
 from repro.cruz.agent import CheckpointAgent
+from repro.cruz.backend import ShardedBackend, SharedFSBackend, StoreBackend
 from repro.cruz.coordinator import CheckpointCoordinator, DistributedApp
 from repro.cruz.faults import ControlFaultInjector, FaultPlan
 from repro.cruz.migration import (
@@ -59,12 +60,34 @@ class CruzCluster(Cluster):
                  lease_misses: int = 3,
                  auto_failover: bool = True,
                  evict_on_suspect: bool = False,
+                 store_backend: str = "sharded",
+                 replication_factor: Optional[int] = None,
                  **kwargs):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
         self.codec = codec if codec is not None else CruzSocketCodec()
+        #: The chunk space is sharded across the app nodes' disks by
+        #: default (RF copies per chunk, writer affinity for the
+        #: primary); ``store_backend="shared-fs"`` keeps the legacy
+        #: single shared directory.
+        if replication_factor is None:
+            replication_factor = min(2, n_app_nodes)
+        self.replication_factor = replication_factor
+        backend: StoreBackend
+        if store_backend == "sharded":
+            backend = ShardedBackend(
+                self.fs,
+                nodes=[node.name for node in self.nodes[:n_app_nodes]],
+                replication_factor=replication_factor)
+        elif store_backend == "shared-fs":
+            backend = SharedFSBackend(self.fs)
+        else:
+            raise PodError(f"unknown store backend {store_backend!r}")
         self.store = ImageStore(self.fs, metrics=self.trace.metrics,
-                                sanitizer=self.trace.sanitizer)
+                                sanitizer=self.trace.sanitizer,
+                                backend=backend)
+        self._rereplication_active = False
+        self._rereplication_pending = False
         #: Every control datagram (agents and coordinator, ACKs included)
         #: passes through one seeded fault injector; with no plans added
         #: it is a transparent pass-through.
@@ -163,6 +186,10 @@ class CruzCluster(Cluster):
         self.dead_nodes.add(node_index)
         self.spans.instant("node.crash", node=node.name)
         self.trace.emit(self.sim.now, "node_crash", node=node.name)
+        # The node's chunk shard went with it: mark it unavailable and
+        # kick the re-replication daemon to restore RF elsewhere.
+        self.store.backend.mark_down(node.name)
+        self._schedule_rereplication()
 
     def revive_node(self, node_index: int) -> None:
         """Power the node back on: link up, agent accepting traffic.
@@ -179,6 +206,55 @@ class CruzCluster(Cluster):
         self.dead_nodes.discard(node_index)
         self.spans.instant("node.revive", node=node.name)
         self.trace.emit(self.sim.now, "node_revive", node=node.name)
+        # The shard comes back with the node; drop copies of chunks
+        # garbage-collected while it was out.
+        self.store.backend.mark_up(node.name)
+        self.store.reconcile_node(node.name)
+
+    # -- re-replication ------------------------------------------------------
+
+    def _schedule_rereplication(self) -> None:
+        """Start the background repair pass unless one is running."""
+        if self.store.backend.kind != "sharded":
+            return
+        if self._rereplication_active:
+            self._rereplication_pending = True
+            return
+        self._rereplication_active = True
+        self.sim.process(self._rereplication_proc(), name="rereplicate")
+
+    def _rereplication_proc(self):
+        """Restore every chunk's replication factor after node loss.
+
+        Event-driven, not polled: each availability change schedules one
+        pass; a pass scans the chunk space for copies below the live RF
+        target and streams each repair from a surviving replica to the
+        next up ring successor, charging the copy on the destination
+        disk's clock. A loss during the pass queues a follow-up pass.
+        """
+        try:
+            while True:
+                deficits = self.store.under_replicated()
+                span = self.spans.begin("store.rereplicate",
+                                        node=self.coordinator_node.name,
+                                        orphan=True,
+                                        chunks=len(deficits))
+                repaired = 0
+                for cid, _live in deficits:
+                    result = self.store.rereplicate_one(cid)
+                    if result is None:
+                        continue
+                    _dest, nbytes = result
+                    repaired += 1
+                    yield self.sim.timeout(
+                        nbytes / self.coordinator_node
+                        .costs.disk_write_bandwidth)
+                self.spans.end(span, repaired=repaired)
+                if not self._rereplication_pending:
+                    break
+                self._rereplication_pending = False
+        finally:
+            self._rereplication_active = False
 
     # -- control-plane faults and coordinator replacement -------------------
 

@@ -299,6 +299,18 @@ class PrecopyMigrator:
                     pod, report.target_node,
                     report.rounds[-1].version if report.rounds else None)
             intermediates.append((pod.name, image.version))
+            # The target can only stage what surviving replicas still
+            # hold: a shard lost between this round's commit and the
+            # prefetch makes the version unreconstructible, so abort
+            # with the pod still running on the source.
+            if not cluster.store.version_reconstructible(
+                    pod.name, image.version):
+                spans.end(round_span, aborted=True)
+                raise MigrationError(
+                    pod.name, image.version, report.target_node,
+                    f"pre-copy round {index} (v{image.version}) is not "
+                    "reconstructible from surviving replicas",
+                    source_destroyed=False)
             # The target stages this round's chunks while the pod runs:
             # round 1 pulls everything the manifest references (older
             # checkpoints' chunks included), later rounds only the delta.
@@ -353,6 +365,18 @@ class PrecopyMigrator:
                 raise self._abort_source_lost(
                     pod, report.target_node,
                     report.rounds[-1].version if report.rounds else None)
+            # Point of no return is next: only destroy the source if
+            # the committed final delta can actually be read back from
+            # surviving replicas.
+            if not cluster.store.version_reconstructible(
+                    pod.name, final.version):
+                cluster.store.discard(pod.name, final.version)
+                pod.continue_all()  # final capture left it stopped
+                raise MigrationError(
+                    pod.name, final.version, report.target_node,
+                    f"final delta v{final.version} is not reconstructible "
+                    "from surviving replicas; pod left on source",
+                    source_destroyed=False)
             scrub_pod_network(pod)
             pod.kill_all()
             uninstall_pod(pod)

@@ -32,10 +32,21 @@ Save modes:
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import CheckpointError
+from repro.cruz.backend import (
+    SharedFSBackend,
+    StoreBackend,
+    backend_config,
+    backend_from_config,
+)
+from repro.errors import (
+    CheckpointError,
+    ChunkMissingError,
+    VersionUnreconstructibleError,
+)
 from repro.simos.filesystem import SharedFileSystem
 from repro.simos.memory import PAGE_SIZE, AddressSpace
 from repro.zap.image import (
@@ -267,52 +278,73 @@ class LivenessLog:
 
 
 class ChunkStore:
-    """Content-addressed, refcounted chunks in the shared filesystem."""
+    """Content-addressed, refcounted chunks over a pluggable backend.
+
+    Refcounts and the byte-movement counters live here; the raw copy IO
+    (where chunks physically live, how many replicas) is delegated to a
+    :class:`~repro.cruz.backend.StoreBackend`.
+    """
 
     def __init__(self, fs: SharedFileSystem,
-                 root: str = "/checkpoints/.chunks"):
+                 root: str = "/checkpoints/.chunks",
+                 backend: Optional[StoreBackend] = None):
         self.fs = fs
         self.root = root
+        self.backend: StoreBackend = backend if backend is not None \
+            else SharedFSBackend(fs, root=root)
         self.refcounts: Dict[str, int] = {}
         #: Optional runtime sanitizer; flags refcount underflows.
         self.sanitizer = None
         # Byte-movement counters (the measured quantities the benchmarks
-        # read; distinct from the simulated-time accounting).
+        # read; distinct from the simulated-time accounting). The
+        # ``chunks_written``/``bytes_written`` pair counts *logical*
+        # chunk writes (one per chunk, as the single-copy layout did);
+        # extra replica copies are tracked separately.
         self.chunks_written = 0
         self.bytes_written = 0
         self.bytes_deduped = 0
         self.chunks_removed = 0
         self.bytes_removed = 0
-
-    def _path(self, cid: str) -> str:
-        return f"{self.root}/{cid[:2]}/{cid}"
+        self.replica_copies = 0
+        self.replica_bytes = 0
+        self.rereplicated_chunks = 0
+        self.rereplicated_bytes = 0
 
     def contains(self, cid: str) -> bool:
-        return self.fs.exists(self._path(cid))
+        """A copy of the chunk is *readable right now*.
 
-    def write(self, cid: str, payload: bytes, force: bool = False) -> int:
-        """Store a chunk; returns bytes actually moved (0 if dedup'd)."""
-        path = self._path(cid)
-        if self.fs.exists(path) and not force:
+        Deciding dedup on availability (not mere existence) means a
+        save taken while a replica node is down rewrites chunks whose
+        only copies are unreachable — degraded saves self-heal.
+        """
+        return self.backend.available(cid)
+
+    def write(self, cid: str, payload: bytes, force: bool = False,
+              writer: Optional[str] = None) -> int:
+        """Store a chunk; returns logical bytes moved (0 if dedup'd)."""
+        result = self.backend.put_chunk(cid, payload, writer=writer,
+                                        force=force)
+        self.replica_copies += result.replica_copies
+        self.replica_bytes += result.replica_bytes
+        if not result.logical_write:
             self.bytes_deduped += len(payload)
             return 0
-        self.fs.create(path)
-        self.fs.write_at(path, 0, payload)
         self.chunks_written += 1
         self.bytes_written += len(payload)
         return len(payload)
 
     def read(self, cid: str) -> bytes:
-        path = self._path(cid)
-        if not self.fs.exists(path):
-            raise CheckpointError(f"missing chunk {cid}")
-        return self.fs.read_at(path, 0, self.fs.size(path))
+        return self.backend.get_chunk(cid)
 
     def incref(self, cid: str) -> None:
         self.refcounts[cid] = self.refcounts.get(cid, 0) + 1
 
     def decref(self, cid: str) -> bool:
-        """Drop one reference; unlink the chunk when none remain."""
+        """Drop one reference; unlink the chunk when none remain.
+
+        Only reachable copies are unlinked — a powered-off shard's
+        copies are reconciled when the node revives.
+        """
         if self.sanitizer is not None and self.refcounts.get(cid, 0) <= 0:
             self.sanitizer.check_refcount_underflow(
                 cid, self.refcounts.get(cid, 0))
@@ -321,10 +353,9 @@ class ChunkStore:
             self.refcounts[cid] = remaining
             return False
         self.refcounts.pop(cid, None)
-        path = self._path(cid)
-        if self.fs.exists(path):
-            self.bytes_removed += self.fs.size(path)
-            self.fs.unlink(path)
+        nbytes, copies = self.backend.delete(cid)
+        if copies:
+            self.bytes_removed += nbytes
             self.chunks_removed += 1
         return True
 
@@ -346,16 +377,25 @@ class SavePlan:
     ``groups`` holds one ``(serialize_bytes, write_bytes)`` pair per
     process (plus a tail group for pipes/shm): serialization of process
     *i+1* overlaps the disk write of process *i* — the §5.2 pipeline.
+    ``dest_groups`` (parallel to ``groups``) splits each group's write
+    bytes per destination disk: with a sharded backend the writer's
+    disk takes the primary copy of every new chunk while the replica
+    copies land on other nodes' disks concurrently, so the pipeline
+    bound is the *busiest* destination — which writer affinity makes
+    the writer itself, reproducing the single-disk timing exactly.
     """
 
     mode: str
     chunks: List[_PlannedChunk] = field(default_factory=list)
     groups: List[Tuple[int, int]] = field(default_factory=list)
+    dest_groups: List[Dict[str, int]] = field(default_factory=list)
     total_bytes: int = 0
     write_bytes: int = 0
     serialize_bytes: int = 0
+    replica_bytes: int = 0
     chunks_total: int = 0
     chunks_new: int = 0
+    writer: Optional[str] = None
     manifest: Optional[Dict[str, Any]] = None
 
     @property
@@ -369,30 +409,56 @@ class SavePlan:
         """(serialize_window_s, pipeline_total_s) for the cost model.
 
         Serialization is sequential (one CPU copies the state out); each
-        group's disk write starts as soon as both that group is serialized
-        and the disk is free — the two-stage pipeline bound.
+        group's write to a given destination disk starts as soon as both
+        that group is serialized and that disk is free — the two-stage
+        pipeline bound, taken over every destination in parallel.
         """
         serialized = 0.0
-        write_free = 0.0
-        for serialize_bytes, write_bytes in self.groups:
+        free: Dict[str, float] = {}
+        dest_groups = self.dest_groups if self.dest_groups else \
+            [None] * len(self.groups)
+        for (serialize_bytes, write_bytes), dests in zip(
+                self.groups, dest_groups):
             serialized += serialize_bytes / costs.serialize_bandwidth
-            write_free = max(serialized, write_free) \
-                + write_bytes / costs.disk_write_bandwidth
-        return serialized, max(write_free, serialized)
+            if not dests:
+                dests = {"disk": write_bytes}
+            for dest in sorted(dests):
+                free[dest] = max(serialized, free.get(dest, 0.0)) \
+                    + dests[dest] / costs.disk_write_bandwidth
+        pipeline = max(free.values()) if free else 0.0
+        return serialized, max(pipeline, serialized)
 
 
 class ImageStore:
-    """Versioned, chunk-deduplicated checkpoint images in the shared FS."""
+    """Versioned, chunk-deduplicated checkpoint images.
+
+    A facade over a pluggable :class:`~repro.cruz.backend.StoreBackend`
+    that holds the chunk copies. The metadata plane (manifests, round
+    WAL, liveness WAL) stays on the shared filesystem; the data plane
+    (the bulky chunk space) is wherever the backend puts it — one
+    shared directory (legacy) or replicated shards on the app nodes.
+
+    The backend in use is recorded in a tiny ``.store`` file so a store
+    constructed later over the same filesystem (a restarted
+    coordinator) re-attaches with the same layout; a bare
+    ``ImageStore(fs)`` over an *empty* filesystem defaults to the
+    legacy single-shard backend.
+    """
 
     def __init__(self, fs: SharedFileSystem, root: str = "/checkpoints",
-                 metrics=None, sanitizer=None):
+                 metrics=None, sanitizer=None,
+                 backend: Optional[StoreBackend] = None):
         self.fs = fs
         self.root = root
-        self.chunks = ChunkStore(fs, root=f"{root}/.chunks")
+        if backend is None:
+            backend = self._detect_backend(fs, root)
+        self._chunks = ChunkStore(fs, root=f"{root}/.chunks",
+                                  backend=backend)
+        self._persist_backend_config()
         #: Optional runtime sanitizer; when set, every save/discard/prune
         #: is followed by a full refcount audit (see :meth:`audit`).
         self.sanitizer = sanitizer
-        self.chunks.sanitizer = sanitizer
+        self._chunks.sanitizer = sanitizer
         #: Coordination-round WAL, shared (like the images) by every node.
         self.rounds = RoundLog(fs, root=f"{root}/.rounds")
         #: Node-liveness WAL (supervisor death/rejoin declarations).
@@ -413,6 +479,67 @@ class ImageStore:
         #: mirrors the chunk byte-movement into typed counters
         #: (``store.bytes_written`` etc.) labelled by save mode.
         self.metrics = metrics
+
+    # -- backend facade ----------------------------------------------------
+
+    @staticmethod
+    def _detect_backend(fs: SharedFileSystem,
+                        root: str) -> Optional[StoreBackend]:
+        """Rebuild the backend a previous store recorded in ``.store``."""
+        path = f"{root}/.store"
+        if not fs.exists(path):
+            return None
+        record = thaw_object(fs.read_at(path, 0, fs.size(path)))
+        return backend_from_config(fs, record)
+
+    def _persist_backend_config(self) -> None:
+        path = f"{self.root}/.store"
+        if self.fs.exists(path):
+            return
+        blob = freeze_object(backend_config(self._chunks.backend))
+        self.fs.create(path)
+        self.fs.write_at(path, 0, blob)
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The chunk backend (placement, availability, replication)."""
+        return self._chunks.backend
+
+    @property
+    def chunks(self) -> ChunkStore:
+        """Deprecated direct access to the internal chunk store.
+
+        Reaching past the facade couples callers to one backend's
+        layout (paths, single-copy assumptions). Use ``store.backend``,
+        ``store.stats`` and ``store.refcounts()`` instead. Flagged
+        in-repo by CruzSan lint CRZ007.
+        """
+        warnings.warn(
+            "ImageStore.chunks is deprecated; use store.backend, "
+            "store.stats and store.refcounts() instead",
+            DeprecationWarning, stacklevel=2)
+        return self._chunks
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Byte-movement counters (logical writes, dedup, replicas)."""
+        chunks = self._chunks
+        return {
+            "chunks_written": chunks.chunks_written,
+            "bytes_written": chunks.bytes_written,
+            "bytes_deduped": chunks.bytes_deduped,
+            "chunks_removed": chunks.chunks_removed,
+            "bytes_removed": chunks.bytes_removed,
+            "replica_copies": chunks.replica_copies,
+            "replica_bytes": chunks.replica_bytes,
+            "rereplicated_chunks": chunks.rereplicated_chunks,
+            "rereplicated_bytes": chunks.rereplicated_bytes,
+        }
+
+    def refcounts(self) -> Dict[str, int]:
+        """A copy of the chunk refcount table (cid -> references)."""
+        self._ensure_attached()
+        return dict(self._chunks.refcounts)
 
     # -- paths and the persistent index -----------------------------------
 
@@ -440,7 +567,7 @@ class ImageStore:
             self._latest[pod_name] = max(
                 self._latest.get(pod_name, 0), version)
             for cid, _nbytes in self._manifest_chunk_refs(manifest):
-                self.chunks.incref(cid)
+                self._chunks.incref(cid)
                 self._audit_expected[cid] = \
                     self._audit_expected.get(cid, 0) + 1
 
@@ -467,15 +594,101 @@ class ImageStore:
             raise CheckpointError(f"no checkpoints for pod {pod_name!r}")
         return version
 
+    def _read_manifest(self, pod_name: str,
+                       version: int) -> Optional[Dict[str, Any]]:
+        path = self._manifest_path(pod_name, version)
+        if not self.fs.exists(path):
+            return None
+        return thaw_object(self.fs.read_at(path, 0, self.fs.size(path)))
+
+    def version_reconstructible(self, pod_name: str, version: int) -> bool:
+        """Every chunk the version references has a live copy."""
+        self._ensure_attached()
+        manifest = self._read_manifest(pod_name, version)
+        if manifest is None:
+            return False
+        backend = self._chunks.backend
+        for cid, _nbytes in self._manifest_chunk_refs(manifest):
+            if not backend.available(cid):
+                return False
+        return True
+
+    def reconstructible_versions(self, pod_name: str) -> List[int]:
+        """Committed versions rebuildable from *surviving* replicas.
+
+        With the legacy shared-FS backend this equals :meth:`versions`;
+        with a sharded backend, versions whose chunks lost every live
+        copy to node failures drop out, and failover / migration must
+        fall back to the newest version still in this list.
+        """
+        return [version for version in self.versions(pod_name)
+                if self.version_reconstructible(pod_name, version)]
+
+    # -- replication repair ------------------------------------------------
+
+    def under_replicated(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """(cid, live holders) below the backend's live RF target."""
+        return self._chunks.backend.under_replicated()
+
+    def rereplicate_one(self, cid: str) -> Optional[Tuple[str, int]]:
+        """Repair one chunk's replication; returns (dest, bytes).
+
+        Returns ``None`` when no repair is possible or needed any more
+        (no spare up node, or the chunk was garbage-collected since the
+        deficit was scanned).
+        """
+        backend = self._chunks.backend
+        if backend.kind != "sharded":
+            return None
+        if self._chunks.refcounts.get(cid, 0) <= 0:
+            return None
+        dest = backend.repair_dest(cid)
+        if dest is None:
+            return None
+        nbytes = backend.replicate(cid, dest)
+        self._chunks.rereplicated_chunks += 1
+        self._chunks.rereplicated_bytes += nbytes
+        if self.metrics is not None:
+            self.metrics.counter("store.rereplicated_chunks").inc()
+            self.metrics.counter("store.rereplicated_bytes").inc(nbytes)
+        return dest, nbytes
+
+    def reconcile_node(self, node_name: str) -> int:
+        """Drop a revived shard's copies of since-deleted chunks.
+
+        A powered-off node misses garbage collection; on revive its
+        shard may hold chunk files nothing references any more. Returns
+        the number of stale copies removed.
+        """
+        backend = self._chunks.backend
+        if backend.kind != "sharded":
+            return 0
+        self._ensure_attached()
+        removed = 0
+        for cid in backend.scan_node(node_name):
+            if self._chunks.refcounts.get(cid, 0) <= 0:
+                backend.delete_on(node_name, cid)
+                removed += 1
+        return removed
+
     # -- chunk planning ----------------------------------------------------
 
-    def plan(self, image: CheckpointImage, mode: str = "full") -> SavePlan:
-        """Split the image into chunks and decide what must be written."""
+    def plan(self, image: CheckpointImage, mode: str = "full",
+             writer: Optional[str] = None) -> SavePlan:
+        """Split the image into chunks and decide what must be written.
+
+        ``writer`` names the node taking the checkpoint; the backend's
+        placement gives it the primary copy of every new chunk (writer
+        affinity) and decides where the replicas go, and the plan's
+        per-destination byte split drives the pipelined cost model.
+        """
         if mode not in ("full", "dedup", "incremental"):
             raise CheckpointError(f"unknown save mode {mode!r}")
         self._ensure_attached()
-        plan = SavePlan(mode=mode)
+        plan = SavePlan(mode=mode, writer=writer)
+        backend = self._chunks.backend
         planned: set = set()
+        group_dests: Dict[str, int] = {}
 
         def add(cid: str, nbytes: int, payload: Optional[bytes],
                 must_hash: bool) -> Tuple[bool, int]:
@@ -483,7 +696,7 @@ class ImageStore:
             if mode == "full":
                 write = True
             else:
-                write = cid not in planned and not self.chunks.contains(cid)
+                write = cid not in planned and not self._chunks.contains(cid)
             planned.add(cid)
             plan.chunks.append(_PlannedChunk(
                 cid=cid, nbytes=nbytes, write=write,
@@ -493,6 +706,11 @@ class ImageStore:
             if write:
                 plan.chunks_new += 1
                 plan.write_bytes += nbytes
+                dests = backend.write_dests(cid, writer)
+                for index, dest in enumerate(dests):
+                    group_dests[dest] = group_dests.get(dest, 0) + nbytes
+                    if index > 0:
+                        plan.replica_bytes += nbytes
             serialize = nbytes if (must_hash or write) else 0
             plan.serialize_bytes += serialize
             return write, serialize
@@ -536,6 +754,8 @@ class ImageStore:
                 group_write += PAGE_SIZE if wrote else 0
 
             plan.groups.append((group_serialize, group_write))
+            plan.dest_groups.append(dict(group_dests))
+            group_dests.clear()
             manifest_procs.append({
                 "vpid": proc.vpid, "parent_vpid": proc.parent_vpid,
                 "name": proc.name,
@@ -574,6 +794,8 @@ class ImageStore:
                 "payload_len": len(shm.payload_blob)})
         if tail_serialize or tail_write:
             plan.groups.append((tail_serialize, tail_write))
+            plan.dest_groups.append(dict(group_dests))
+            group_dests.clear()
 
         plan.manifest = {
             "format": MANIFEST_FORMAT,
@@ -600,19 +822,25 @@ class ImageStore:
     # -- save / load -------------------------------------------------------
 
     def save(self, image: CheckpointImage, mode: str = "full",
-             plan: Optional[SavePlan] = None) -> int:
+             plan: Optional[SavePlan] = None,
+             writer: Optional[str] = None) -> int:
         """Persist an image; returns its version number.
 
         Writes only the plan's new chunks (all of them in ``full`` mode),
         increments every referenced chunk's refcount, then commits the
         manifest — the version exists atomically once the manifest does.
+        ``writer`` (or the plan's recorded writer) anchors placement so
+        the checkpointing node keeps the primary copy of every chunk.
         """
         self._ensure_attached()
         if plan is None:
-            plan = self.plan(image, mode=mode)
-        chunks_before = self.chunks.chunks_written
-        written_before = self.chunks.bytes_written
-        deduped_before = self.chunks.bytes_deduped
+            plan = self.plan(image, mode=mode, writer=writer)
+        if writer is None:
+            writer = plan.writer
+        chunks_before = self._chunks.chunks_written
+        written_before = self._chunks.bytes_written
+        deduped_before = self._chunks.bytes_deduped
+        replicas_before = self._chunks.replica_bytes
         try:
             version = self.latest_version(image.pod_name) + 1
         except CheckpointError:
@@ -621,10 +849,11 @@ class ImageStore:
             if chunk.write:
                 payload = chunk.payload if chunk.payload is not None \
                     else page_chunk_payload(chunk.cid)
-                self.chunks.write(chunk.cid, payload, force=chunk.force)
+                self._chunks.write(chunk.cid, payload, force=chunk.force,
+                                   writer=writer)
             else:
-                self.chunks.bytes_deduped += chunk.nbytes
-            self.chunks.incref(chunk.cid)
+                self._chunks.bytes_deduped += chunk.nbytes
+            self._chunks.incref(chunk.cid)
         manifest = plan.manifest
         manifest["meta"]["version"] = version
         manifest["meta"]["written_bytes"] = image.written_bytes
@@ -644,13 +873,15 @@ class ImageStore:
         if self.metrics is not None:
             self.metrics.counter("store.saves").inc(label=mode)
             self.metrics.counter("store.chunks_written").inc(
-                self.chunks.chunks_written - chunks_before, label=mode)
+                self._chunks.chunks_written - chunks_before, label=mode)
             self.metrics.counter("store.bytes_written").inc(
-                self.chunks.bytes_written - written_before, label=mode)
+                self._chunks.bytes_written - written_before, label=mode)
             self.metrics.counter("store.bytes_deduped").inc(
-                self.chunks.bytes_deduped - deduped_before, label=mode)
+                self._chunks.bytes_deduped - deduped_before, label=mode)
+            self.metrics.counter("store.replica_bytes_written").inc(
+                self._chunks.replica_bytes - replicas_before, label=mode)
             self.metrics.histogram("store.save_write_bytes").observe(
-                self.chunks.bytes_written - written_before)
+                self._chunks.bytes_written - written_before)
         self._sanitize_audit("save")
         return version
 
@@ -676,45 +907,72 @@ class ImageStore:
             total_chunk_bytes=meta["total_chunk_bytes"],
             sockets_captured=meta["sockets_captured"],
             version=meta["version"])
-        for entry in manifest["processes"]:
-            fds = []
-            for fd_entry in entry["fds"]:
-                if "detail_cid" in fd_entry:
-                    detail = thaw_object(
-                        self.chunks.read(fd_entry["detail_cid"]))
-                else:
-                    detail = fd_entry["detail"]
-                fds.append(FdImage(fd=fd_entry["fd"],
-                                   kind=fd_entry["kind"],
-                                   mode=fd_entry["mode"], detail=detail))
-            memory = entry["memory"]
-            # Pull every page chunk back from the store (the real read
-            # traffic of a restore) and verify none were lost to GC.
-            for cid, _page in iter_page_chunks(
-                    meta["pod_name"], entry["vpid"], memory):
-                self.chunks.read(cid)
-            image.processes.append(ProcessImage(
-                vpid=entry["vpid"], parent_vpid=entry["parent_vpid"],
-                name=entry["name"],
-                program_blob=self.chunks.read(entry["program_cid"]),
-                memory=memory,
-                resume_syscall=entry["resume_syscall"], fds=fds,
-                was_stopped_by_user=entry["was_stopped_by_user"],
-                initial_result=entry["initial_result"]))
-        for entry in manifest["pipes"]:
-            image.pipes.append(PipeImage(
-                index=entry["index"],
-                buffer=self.chunks.read(entry["buffer_cid"]),
-                readers=entry["readers"], writers=entry["writers"]))
-        for entry in manifest["shm"]:
-            image.shm.append(ShmImage(
-                vid=entry["vid"], app_key=entry["app_key"],
-                size=entry["size"],
-                payload_blob=self.chunks.read(entry["payload_cid"])))
+        try:
+            for entry in manifest["processes"]:
+                fds = []
+                for fd_entry in entry["fds"]:
+                    if "detail_cid" in fd_entry:
+                        detail = thaw_object(
+                            self._chunks.read(fd_entry["detail_cid"]))
+                    else:
+                        detail = fd_entry["detail"]
+                    fds.append(FdImage(fd=fd_entry["fd"],
+                                       kind=fd_entry["kind"],
+                                       mode=fd_entry["mode"],
+                                       detail=detail))
+                memory = entry["memory"]
+                # Pull every page chunk back from the store (the real
+                # read traffic of a restore) and verify none were lost
+                # to GC or node failure.
+                for cid, _page in iter_page_chunks(
+                        meta["pod_name"], entry["vpid"], memory):
+                    self._chunks.read(cid)
+                image.processes.append(ProcessImage(
+                    vpid=entry["vpid"], parent_vpid=entry["parent_vpid"],
+                    name=entry["name"],
+                    program_blob=self._chunks.read(entry["program_cid"]),
+                    memory=memory,
+                    resume_syscall=entry["resume_syscall"], fds=fds,
+                    was_stopped_by_user=entry["was_stopped_by_user"],
+                    initial_result=entry["initial_result"]))
+            for entry in manifest["pipes"]:
+                image.pipes.append(PipeImage(
+                    index=entry["index"],
+                    buffer=self._chunks.read(entry["buffer_cid"]),
+                    readers=entry["readers"], writers=entry["writers"]))
+            for entry in manifest["shm"]:
+                image.shm.append(ShmImage(
+                    vid=entry["vid"], app_key=entry["app_key"],
+                    size=entry["size"],
+                    payload_blob=self._chunks.read(entry["payload_cid"])))
+        except ChunkMissingError as exc:
+            raise VersionUnreconstructibleError(
+                pod_name, version, missing_cid=exc.cid,
+                queried_nodes=exc.queried_nodes) from exc
         for vid, app_key, value in manifest["sem"]:
             image.sem.append(SemImage(vid=vid, app_key=app_key,
                                       value=value))
+        image.chunk_sources = self._chunk_sources(manifest)
         return image
+
+    def _chunk_sources(self, manifest: Dict[str, Any]
+                       ) -> Optional[List[Tuple[Tuple[str, ...], int]]]:
+        """Group a manifest's chunk bytes by surviving holder set.
+
+        The restore engine turns this into a parallel-fetch fraction:
+        chunks local to the restoring node cost one local disk read,
+        remote groups stream concurrently from every live replica. Only
+        meaningful for placed (sharded) backends; the legacy layout
+        returns ``None`` (single-disk restore, fraction 1.0).
+        """
+        backend = self._chunks.backend
+        if backend.kind != "sharded":
+            return None
+        grouped: Dict[Tuple[str, ...], int] = {}
+        for cid, nbytes in self._manifest_chunk_refs(manifest):
+            holders = backend.live_holders(cid)
+            grouped[holders] = grouped.get(holders, 0) + nbytes
+        return sorted(grouped.items())
 
     # -- garbage collection ------------------------------------------------
 
@@ -765,14 +1023,14 @@ class ImageStore:
             self._audit_valid = True
         expected = self._audit_expected
         problems: List[Dict[str, Any]] = []
-        if expected != self.chunks.refcounts:
+        if expected != self._chunks.refcounts:
             for cid, count in sorted(expected.items()):
-                actual = self.chunks.refcounts.get(cid, 0)
+                actual = self._chunks.refcounts.get(cid, 0)
                 if actual != count:
                     problems.append({"kind": "refcount_mismatch",
                                      "cid": cid, "expected": count,
                                      "actual": actual})
-            for cid, count in sorted(self.chunks.refcounts.items()):
+            for cid, count in sorted(self._chunks.refcounts.items()):
                 if cid not in expected:
                     problems.append({"kind": "dangling_refcount",
                                      "cid": cid, "actual": count})
@@ -780,14 +1038,27 @@ class ImageStore:
                     problems.append({"kind": "nonpositive_refcount",
                                      "cid": cid, "actual": count})
         if deep:
+            backend = self._chunks.backend
+            # Per-shard sweep: a referenced chunk is *missing* only when
+            # no shard (up or down) holds a copy — copies on a powered-
+            # off node are unavailable, not lost. Orphans are audited on
+            # reachable shards only; a down shard legitimately keeps
+            # copies of chunks deleted while it was out.
             for cid in sorted(expected):
-                if not self.chunks.contains(cid):
+                if backend.total_copies(cid) == 0:
                     problems.append({"kind": "missing_chunk", "cid": cid,
                                      "expected": expected[cid]})
-            for path in self.fs.listdir(f"{self.chunks.root}/"):
-                cid = path.rsplit("/", 1)[-1]
-                if expected.get(cid, 0) == 0:
-                    problems.append({"kind": "orphan_chunk", "cid": cid})
+            if backend.kind == "sharded":
+                for node in backend.up_nodes:
+                    for cid in backend.scan_node(node):
+                        if expected.get(cid, 0) == 0:
+                            problems.append({"kind": "orphan_chunk",
+                                             "cid": cid, "node": node})
+            else:
+                for cid in backend.scan():
+                    if expected.get(cid, 0) == 0:
+                        problems.append({"kind": "orphan_chunk",
+                                         "cid": cid})
         return problems
 
     def _sanitize_audit(self, context: str) -> None:
@@ -802,7 +1073,7 @@ class ImageStore:
         manifest = thaw_object(
             self.fs.read_at(path, 0, self.fs.size(path)))
         for cid, _nbytes in self._manifest_chunk_refs(manifest):
-            self.chunks.decref(cid)
+            self._chunks.decref(cid)
             if self.sanitizer is not None:
                 left = self._audit_expected.get(cid, 0) - 1
                 if left > 0:

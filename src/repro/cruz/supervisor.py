@@ -48,6 +48,7 @@ from repro.errors import (
     FailoverError,
     MigrationError,
     RestartMismatchError,
+    StoreError,
 )
 from repro.net.addresses import Ipv4Address
 from repro.zap.verify import verify_image
@@ -464,11 +465,25 @@ class NodeSupervisor:
     def _choose_version(self, app) -> Generator:
         """Newest committed version every member has, verified green.
 
-        Charges simulated disk-read time for each image inspected, so
-        the ``failover.verify`` span measures real work.
+        With a sharded store a committed version is only usable if every
+        chunk it references survives on some live replica, so candidates
+        are intersected with each member's
+        :meth:`~repro.cruz.storage.ImageStore.reconstructible_versions`
+        before verification. Charges simulated disk-read time for each
+        image inspected, so the ``failover.verify`` span measures real
+        work.
         """
         store = self.cluster.store
         costs = self.node.costs
+        # A node whose lease is still warm but whose agent is already
+        # gone contributes no capacity and no replicas: without this,
+        # losing every node at once reads as a storage problem instead
+        # of the total-capacity loss it is.
+        if not any(self._node_alive(i)
+                   and not self.cluster.agents[i].crashed
+                   for i in range(self.cluster.n_app_nodes)):
+            raise FailoverError(
+                app.name, "no surviving capacity: every app node is dead")
         member_names = [pod.name for pod in app.pods]
         common = None
         for name in member_names:
@@ -478,11 +493,28 @@ class NodeSupervisor:
             raise FailoverError(
                 app.name, "no committed checkpoint version shared by "
                           f"members {member_names}")
+        usable = None
+        for name in member_names:
+            views = set(store.reconstructible_versions(name))
+            usable = views if usable is None else usable & views
+        candidates = common & usable
+        if not candidates:
+            raise FailoverError(
+                app.name, "no shared committed version is reconstructible "
+                          f"from surviving replicas "
+                          f"(committed: {sorted(common)})")
         rejected = []
-        for version in sorted(common, reverse=True):
+        for version in sorted(candidates, reverse=True):
             all_green = True
             for name in member_names:
-                image = store.load(name, version)
+                try:
+                    image = store.load(name, version)
+                except StoreError as error:
+                    # A replica died between the reconstructibility scan
+                    # and the read: fall back to an older version.
+                    rejected.append((version, name, [str(error)]))
+                    all_green = False
+                    break
                 yield self._sim.timeout(
                     image.state_bytes / costs.disk_read_bandwidth)
                 report = verify_image(image)

@@ -41,6 +41,70 @@ class CheckpointError(ReproError):
     """Single-node (pod) checkpoint or restart failed."""
 
 
+class StoreError(CheckpointError):
+    """Image-store failure (chunk IO, replication, reconstruction).
+
+    Rooted under :class:`CheckpointError` so every existing
+    ``except CheckpointError`` recovery path (agents, supervisor,
+    migration rollback) keeps handling storage faults without change.
+    """
+
+
+class ChunkMissingError(StoreError):
+    """A content-addressed chunk has no readable copy.
+
+    ``cid`` is the chunk hash; ``queried_nodes`` names every shard that
+    was asked (in deterministic sorted order) before giving up, so the
+    error itself documents which replicas were unreachable.
+    """
+
+    def __init__(self, cid, queried_nodes=(), message=""):
+        self.cid = cid
+        self.queried_nodes = tuple(queried_nodes)
+        where = ", ".join(self.queried_nodes) or "no nodes"
+        super().__init__(
+            message or f"missing chunk {cid} (queried: {where})")
+
+
+class ReplicationError(StoreError):
+    """A chunk copy could not be placed or repaired.
+
+    Raised by the re-replication path when a chunk is below its target
+    replication factor and no surviving replica can source the copy.
+    """
+
+    def __init__(self, cid, wanted, live_holders=(), message=""):
+        self.cid = cid
+        self.wanted = wanted
+        self.live_holders = tuple(live_holders)
+        super().__init__(
+            message or f"cannot re-replicate chunk {cid} to RF={wanted}: "
+                       f"live holders {list(self.live_holders)}")
+
+
+class VersionUnreconstructibleError(StoreError):
+    """A committed version cannot be rebuilt from surviving replicas.
+
+    Carries the pod name, version, and the first chunk found without a
+    live copy. Callers that can fall back (failover, migration) should
+    consult :meth:`ImageStore.reconstructible_versions` for an older
+    version whose chunks all survive.
+    """
+
+    def __init__(self, pod_name, version, missing_cid=None,
+                 queried_nodes=(), message=""):
+        self.pod_name = pod_name
+        self.version = version
+        self.missing_cid = missing_cid
+        self.queried_nodes = tuple(queried_nodes)
+        detail = (f"; first missing chunk {missing_cid}"
+                  if missing_cid else "")
+        super().__init__(
+            message or f"checkpoint v{version} of pod {pod_name!r} is "
+                       f"not reconstructible from surviving "
+                       f"replicas{detail}")
+
+
 class CoordinationError(ReproError):
     """The distributed checkpoint/restart protocol failed or timed out."""
 

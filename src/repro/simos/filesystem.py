@@ -18,7 +18,11 @@ class SharedFileSystem:
     """Path → bytes, visible from every node."""
 
     def __init__(self):
-        self._files: Dict[str, bytearray] = {}
+        # Values are bytearray (mutable, via create/write_at) or bytes
+        # (whole-file writes via write_file, converted lazily on the
+        # first write_at) — the immutable form lets replicated chunk
+        # stores share one payload object per copy.
+        self._files: Dict[str, bytes] = {}
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -42,14 +46,30 @@ class SharedFileSystem:
     def read_at(self, path: str, offset: int, nbytes: int) -> bytes:
         if path not in self._files:
             raise SyscallError("ENOENT", path)
-        data = bytes(self._files[path][offset:offset + nbytes])
+        data = self._files[path][offset:offset + nbytes]
+        if isinstance(data, bytearray):
+            data = bytes(data)
         self.bytes_read += len(data)
         return data
+
+    def write_file(self, path: str, data: bytes) -> int:
+        """Create-or-truncate ``path`` to exactly ``data``.
+
+        One zero-copy dict store instead of create+write_at — the
+        chunk-store hot path writes hundreds of thousands of whole
+        small files, and a replicated store shares one payload object
+        across all copies.
+        """
+        self._files[path] = bytes(data)
+        self.bytes_written += len(data)
+        return len(data)
 
     def write_at(self, path: str, offset: int, data: bytes) -> int:
         if path not in self._files:
             raise SyscallError("ENOENT", path)
         blob = self._files[path]
+        if not isinstance(blob, bytearray):
+            blob = self._files[path] = bytearray(blob)
         if offset > len(blob):
             blob.extend(b"\x00" * (offset - len(blob)))
         blob[offset:offset + len(data)] = data

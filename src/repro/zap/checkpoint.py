@@ -101,7 +101,10 @@ class CheckpointEngine:
         if self.store is not None:
             mode = "incremental" if incremental \
                 else ("dedup" if dedup else "full")
-            plan = self.store.plan(image, mode=mode)
+            # The checkpointing node is the writer: with a placed
+            # (sharded) store it keeps the primary copy of every chunk,
+            # so a restore on this node stays a local disk read.
+            plan = self.store.plan(image, mode=mode, writer=node.name)
             image.written_bytes = plan.write_bytes
             image.total_chunk_bytes = plan.total_bytes
             serialize_s, pipeline_s = plan.schedule(costs)

@@ -30,6 +30,44 @@ def thaw_object(blob: bytes) -> Any:
     return pickle.loads(blob)
 
 
+def fetch_fraction(chunk_sources, reader: str) -> float:
+    """Parallel multi-source restore time as a fraction of serial time.
+
+    ``chunk_sources`` groups the image's bytes by holder set (see
+    :attr:`CheckpointImage.chunk_sources`). Chunks the ``reader`` node
+    holds itself are one local disk stream; each remote group streams
+    concurrently from all of its live replicas, splitting its bytes
+    evenly. The restore is bound by the busiest single disk, so the
+    effective fetch time is ``busiest / total`` of the serial
+    single-disk time — exactly 1.0 when everything is local or the
+    image is unplaced, which keeps the legacy timing bit-identical.
+    """
+    if not chunk_sources:
+        return 1.0
+    local = 0.0
+    remote: Dict[str, float] = {}
+    total = 0.0
+    for holders, nbytes in chunk_sources:
+        total += nbytes
+        if reader in holders:
+            local += nbytes
+        elif holders:
+            share = nbytes / len(holders)
+            for holder in holders:
+                remote[holder] = remote.get(holder, 0.0) + share
+        else:
+            # No surviving holder: charge it like a local read; the
+            # store raises VersionUnreconstructibleError before a
+            # restore with truly lost chunks gets this far.
+            local += nbytes
+    if total <= 0:
+        return 1.0
+    busiest = max([local] + [remote[node] for node in sorted(remote)])
+    if busiest >= total:
+        return 1.0
+    return busiest / total
+
+
 @dataclass
 class PipeImage:
     """A pipe shared by the pod's processes, with buffered bytes."""
@@ -116,6 +154,11 @@ class CheckpointImage:
     #: Store version assigned when the image was committed (0 = unsaved).
     version: int = 0
     sockets_captured: int = 0
+    #: Populated by a placed (sharded) image store on load: the
+    #: manifest's chunk bytes grouped by surviving holder set, as
+    #: ``[(holder_names, nbytes), ...]``. ``None`` for images that were
+    #: never stored or live on a single shared disk.
+    chunk_sources: Optional[List[tuple]] = None
 
     def summary(self) -> Dict[str, Any]:
         return {

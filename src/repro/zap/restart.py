@@ -15,7 +15,12 @@ from repro.errors import CheckpointError
 from repro.simos.files import Descriptor, Pipe, RegularFile
 from repro.simos.kernel import Node
 from repro.simos.process import SIGSTOP
-from repro.zap.image import CheckpointImage, FdImage, thaw_object
+from repro.zap.image import (
+    CheckpointImage,
+    FdImage,
+    fetch_fraction,
+    thaw_object,
+)
 from repro.zap.pod import Pod
 from repro.zap.socket_codec import SocketCodec
 from repro.zap.virtualization import install_pod
@@ -39,10 +44,14 @@ class RestartEngine:
         disk read bandwidth.
         """
         sim, costs = node.sim, node.costs
-        # Read the image back from the network filesystem.
+        # Read the image back from storage. A placed (sharded) image
+        # streams in parallel from every surviving replica; the fetch
+        # fraction is the busiest source disk's share of the bytes
+        # (exactly 1.0 for local or single-disk images).
         cold_bytes = max(0, image.state_bytes - warm_bytes)
+        fraction = fetch_fraction(image.chunk_sources, node.name)
         yield sim.timeout(costs.restart_fixed +
-                          cold_bytes / costs.disk_read_bandwidth)
+                          cold_bytes * fraction / costs.disk_read_bandwidth)
         pod = self.instantiate(image, node, own_wire_mac=own_wire_mac)
         sanitizer = node.trace.sanitizer
         if sanitizer is not None:

@@ -100,7 +100,7 @@ def test_gc_keeps_chunks_shared_with_kept_versions():
     # Chunks only v1 referenced (the 50% of pages since overwritten) are
     # gone; everything v2 needs — including clean pages first written at
     # v1 — survives, so the load reads every page chunk successfully.
-    assert store.chunks.chunks_removed > 0
+    assert store.stats["chunks_removed"] > 0
     reloaded = store.load(pod.name, 2)
     assert reloaded.processes[0].memory.regions["grid"].page_count \
         == GRID_PAGES
@@ -145,15 +145,15 @@ def test_incremental_round_stores_at_most_20pct_of_full():
     """Acceptance: 10% dirty -> incremental stores <= 20% of full bytes,
     measured with the chunk store's real byte counters."""
     cluster, pod, proc = make_pod_with_grid()
-    chunks = cluster.store.chunks
-    before = chunks.bytes_written
+    store = cluster.store
+    before = store.stats["bytes_written"]
     checkpoint(cluster, pod, resume=False)                     # v1 full
-    full_bytes = chunks.bytes_written - before
+    full_bytes = store.stats["bytes_written"] - before
     proc.memory.touch("grid", fraction=0.10)
-    before = chunks.bytes_written
+    before = store.stats["bytes_written"]
     image = checkpoint(cluster, pod, resume=False,
                        incremental=True)                        # v2
-    incremental_bytes = chunks.bytes_written - before
+    incremental_bytes = store.stats["bytes_written"] - before
     assert full_bytes >= GRID_PAGES * PAGE_SIZE
     assert incremental_bytes <= 0.20 * full_bytes
     assert incremental_bytes > 0
@@ -163,16 +163,16 @@ def test_incremental_round_stores_at_most_20pct_of_full():
 
 def test_dedup_mode_writes_less_than_full():
     cluster, pod, proc = make_pod_with_grid()
-    chunks = cluster.store.chunks
-    before = chunks.bytes_written
+    store = cluster.store
+    before = store.stats["bytes_written"]
     checkpoint(cluster, pod, resume=False)                     # v1 full
-    full_bytes = chunks.bytes_written - before
+    full_bytes = store.stats["bytes_written"] - before
     proc.memory.touch("grid", fraction=0.4)
-    before = chunks.bytes_written
+    before = store.stats["bytes_written"]
     checkpoint(cluster, pod, resume=False, dedup=True)         # v2
-    dedup_bytes = chunks.bytes_written - before
+    dedup_bytes = store.stats["bytes_written"] - before
     assert 0 < dedup_bytes < full_bytes
-    assert chunks.bytes_deduped > 0
+    assert store.stats["bytes_deduped"] > 0
 
 
 def test_round_stats_report_dedup_ratio():

@@ -248,6 +248,50 @@ def test_failover_without_surviving_capacity_is_typed_failure():
     assert failures and "no surviving capacity" in failures[0].reason
 
 
+def test_failover_falls_back_to_newest_reconstructible_version():
+    """RF=1: a version whose fresh chunks lived only on the dead node
+    is committed but unreconstructible; failover must fall back to the
+    newest version that survives on other shards, not fail."""
+    cluster = make_supervised(3, replication_factor=1)
+    app = cluster.launch_app_factory(
+        "slm", 1,
+        slm_factory(1, global_rows=4, cols=COLS, steps=100000,
+                    total_work_s=200.0, memory_mb_per_rank=2.0))
+    pod = app.pods[0]
+    cluster.run_for(0.3)
+    assert cluster.checkpoint_app(app).committed   # v1, writer node0
+    cluster.migrate_pod(pod, 1, live=False)        # v2, written by node0
+    cluster.run_for(0.1)
+    assert cluster.checkpoint_app(app).committed   # v3, writer node1
+    assert cluster.store.versions(pod.name) == [1, 2, 3]
+
+    cluster.crash_node(1)                          # takes v3's chunks
+    cluster.run_for(1.5)
+    assert cluster.store.reconstructible_versions(pod.name) == [1, 2]
+    supervisor = cluster.supervisor
+    assert not supervisor.failures
+    record = supervisor.failovers[0]
+    assert record.version == 2                     # newest usable, not 3
+    assert record.placement[pod.name] != "node1"
+
+
+def test_failover_with_no_reconstructible_version_is_typed_failure():
+    """RF=1 and every shard holding the pod's chunks is dead: the
+    failure names reconstructibility, not a generic miss."""
+    cluster = make_supervised(3, replication_factor=1)
+    app = slm_app(cluster, steps=100000, total_work_s=1e6)
+    cluster.run_for(0.3)
+    assert cluster.checkpoint_app(app).committed   # chunks on node0+node1
+    cluster.crash_node(0)
+    cluster.run_for(1.5)
+    failures = cluster.supervisor.failures
+    assert len(failures) == 1
+    assert isinstance(failures[0], FailoverError)
+    assert "no shared committed version is reconstructible" \
+        in failures[0].reason
+    assert not cluster.supervisor.failovers
+
+
 def test_cascading_restart_failure_retries_with_backoff():
     cluster = make_supervised(3)
     app = slm_app(cluster)

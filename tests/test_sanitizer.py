@@ -99,8 +99,8 @@ def test_corrupted_refcount_is_flagged_with_span_context():
     cluster.checkpoint_app(app)
     sanitizer = cluster.trace.sanitizer
     assert sanitizer.violations == []
-    cid = next(iter(cluster.store.chunks.refcounts))
-    cluster.store.chunks.refcounts[cid] += 5
+    cid = next(iter(cluster.store.refcounts()))
+    cluster.store._chunks.refcounts[cid] += 5
     cluster.run_for(0.2)
     cluster.checkpoint_app(app)
     hits = sanitizer.by_code("SAN-REFCOUNT")
@@ -119,8 +119,10 @@ def test_deep_audit_spots_missing_chunk_file():
     cluster.checkpoint_app(app)
     sanitizer = cluster.trace.sanitizer
     store = cluster.store
-    cid = next(iter(store.chunks.refcounts))
-    cluster.fs.unlink(f"{store.chunks.root}/{cid[:2]}/{cid}")
+    cid = next(iter(store.refcounts()))
+    # Lose every replica of one chunk behind the store's back.
+    for node in store.backend.holders(cid):
+        store.backend.delete_on(node, cid)
     assert store.audit() == []  # the shallow audit only checks counts
     sanitizer.check_store(store, time=cluster.sim.now, deep=True)
     hits = sanitizer.by_code("SAN-REFCOUNT")
@@ -130,7 +132,7 @@ def test_deep_audit_spots_missing_chunk_file():
 
 def test_decref_underflow_is_flagged():
     cluster, _app = make_sanitized_cluster()
-    cluster.store.chunks.decref("no-such-chunk")
+    cluster.store._chunks.decref("no-such-chunk")
     hits = cluster.trace.sanitizer.by_code("SAN-REFCOUNT")
     assert len(hits) == 1
     assert hits[0].details["refcount"] == 0
