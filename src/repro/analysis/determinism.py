@@ -3,18 +3,25 @@
 The simulator's event queue breaks (time, priority) ties by insertion
 sequence.  Correct code must not depend on that arbitrary order: any two
 tie-break policies must produce bit-identical results.  This module runs
-the same workload twice — once with the default FIFO tie-breaking, once
-with LIFO (newest-first among same-timestamp, same-priority events) —
+the same workload twice — once under the FIFO schedule oracle, once
+under LIFO (newest-first among same-timestamp, same-priority events) —
 and diffs the per-round :class:`RoundStats` plus a hash of the final
 store state.  Divergence means some component consumed the queue's
 arbitrary ordering (a schedule race).
+
+Since CruzMC this detector is the trivial two-point instance of the
+model checker's schedule exploration: fifo and lifo are the two constant
+:class:`~repro.analysis.oracle.ScheduleOracle` policies, run through the
+same scheduler hook every explored interleaving uses (see
+:func:`repro.analysis.mc.run_policy`).  `repro mc` explores the space
+*between* those two points.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 
@@ -60,27 +67,14 @@ def state_hash(cluster) -> str:
 
 def fingerprint(tiebreak: str, nodes: int = 2, rounds: int = 2,
                 interval_s: float = 0.2,
-                memory_mb: float = 4.0) -> Dict[str, Any]:
+                memory_mb: float = 4.0, seed: int = 0) -> Dict[str, Any]:
     """Run the fig5-small workload under one tie-break policy and
     reduce it to a comparable fingerprint."""
-    from repro.apps.slm import slm_factory
-    from repro.cruz.cluster import CruzCluster
+    from repro.analysis import mc
 
-    cluster = CruzCluster(nodes, tiebreak=tiebreak)
-    app = cluster.launch_app_factory(
-        "slm", nodes,
-        slm_factory(nodes, global_rows=8 * nodes, cols=32, steps=100000,
-                    total_work_s=1e6, memory_mb_per_rank=memory_mb))
-    cluster.run_for(0.5)
-    stats = []
-    for _ in range(rounds):
-        cluster.run_for(interval_s)
-        stats.append(asdict(cluster.checkpoint_app(app)))
-    return {
-        "tiebreak": tiebreak,
-        "rounds": stats,
-        "state_hash": state_hash(cluster),
-    }
+    return mc.run_policy(tiebreak, nodes=nodes, rounds=rounds,
+                         interval_s=interval_s, memory_mb=memory_mb,
+                         seed=seed)
 
 
 def _diff(a: Any, b: Any, path: str, out: List[str]) -> None:
@@ -98,17 +92,35 @@ def _diff(a: Any, b: Any, path: str, out: List[str]) -> None:
 
 def run_determinism_check(nodes: int = 2, rounds: int = 2,
                           interval_s: float = 0.2,
-                          memory_mb: float = 4.0) -> DeterminismReport:
-    """The fig5-small workload, twice, with perturbed tie-breaking."""
-    report = DeterminismReport(workload=f"fig5-small[n={nodes}]")
-    fifo = fingerprint("fifo", nodes=nodes, rounds=rounds,
-                       interval_s=interval_s, memory_mb=memory_mb)
-    lifo = fingerprint("lifo", nodes=nodes, rounds=rounds,
-                       interval_s=interval_s, memory_mb=memory_mb)
-    report.fingerprints = {"fifo": fifo, "lifo": lifo}
-    _diff(fifo["rounds"], lifo["rounds"], "rounds", report.divergences)
-    if fifo["state_hash"] != lifo["state_hash"]:
-        report.divergences.append(
-            f"state_hash: fifo={fifo['state_hash'][:16]} "
-            f"lifo={lifo['state_hash'][:16]}")
+                          memory_mb: float = 4.0,
+                          seeds: int = 1) -> DeterminismReport:
+    """The fig5-small workload, twice, with perturbed tie-breaking.
+
+    ``seeds`` sweeps the check over that many RNG seeds (0..seeds-1):
+    each seed shifts the workload's random streams, exposing races that
+    only materialize under particular timings.  Seed 0 reproduces the
+    single-seed check exactly; extra seeds add ``fifo@seed<N>`` /
+    ``lifo@seed<N>`` fingerprints and ``seed<N> ``-prefixed divergences.
+    """
+    workload = (f"fig5-small[n={nodes}]" if seeds <= 1
+                else f"fig5-small[n={nodes},seeds={seeds}]")
+    report = DeterminismReport(workload=workload)
+    for seed in range(max(1, seeds)):
+        fifo = fingerprint("fifo", nodes=nodes, rounds=rounds,
+                           interval_s=interval_s, memory_mb=memory_mb,
+                           seed=seed)
+        lifo = fingerprint("lifo", nodes=nodes, rounds=rounds,
+                           interval_s=interval_s, memory_mb=memory_mb,
+                           seed=seed)
+        suffix = f"@seed{seed}" if seed else ""
+        prefix = f"seed{seed} " if seed else ""
+        report.fingerprints[f"fifo{suffix}"] = fifo
+        report.fingerprints[f"lifo{suffix}"] = lifo
+        divergences: List[str] = []
+        _diff(fifo["rounds"], lifo["rounds"], "rounds", divergences)
+        if fifo["state_hash"] != lifo["state_hash"]:
+            divergences.append(
+                f"state_hash: fifo={fifo['state_hash'][:16]} "
+                f"lifo={lifo['state_hash'][:16]}")
+        report.divergences.extend(prefix + d for d in divergences)
     return report

@@ -22,6 +22,9 @@ CRZ006    ``id()``-based ordering or keying (sort keys, comparisons,
 CRZ007    deprecated ``store.chunks`` access — the flat chunk table is
           a shared-filesystem assumption; go through the
           ``ImageStore`` facade / ``StoreBackend`` API instead
+CRZ008    unbounded retry loop: a ``while True:`` that sends or
+          retransmits with no pacing or budget (no timeout/sleep/
+          backoff call) — a lost peer turns it into a busy storm
 ========  ==========================================================
 
 Any violation can be suppressed on its line with ``# cruz: noqa`` (all
@@ -77,7 +80,21 @@ RULES: Dict[str, tuple] = {
         "ImageStore facade (stats/refcounts()/backend) so the code "
         "works against any StoreBackend",
     ),
+    "CRZ008": (
+        "unbounded retry loop (while True sends with no pacing/budget)",
+        "bound the loop (for attempt in range(...)) or pace it with a "
+        "timeout/sleep/backoff between sends — see "
+        "protocol.RetryPolicy for the house pattern",
+    ),
 }
+
+#: CRZ008: calls that put a datagram/segment on the wire.
+_SEND_ATTRS = {
+    "send", "send_unreliable", "sendto", "retransmit", "transmit",
+    "_transmit", "broadcast",
+}
+#: CRZ008: calls that pace or budget a loop iteration.
+_PACING_ATTRS = {"timeout", "sleep", "after", "backoff", "wait", "defer"}
 
 #: Files exempt from the determinism source rules (CRZ001/CRZ002): the
 #: one place wall-clock-free seeded randomness is implemented.
@@ -196,6 +213,48 @@ class _Linter(ast.NodeVisitor):
             if _contains(stmt, lambda n: _is_method_call(n, "remove_rule")):
                 self._scopes[-1].has_finally_remove = True
         self.generic_visit(node)
+
+    # -- CRZ008: unbounded retry/retransmit loop -------------------------
+
+    def visit_While(self, node: ast.While) -> None:
+        if isinstance(node.test, ast.Constant) and node.test.value is True:
+            body = list(self._walk_loop_body(node.body))
+            sends = any(self._is_send_call(n) for n in body)
+            paced = any(self._is_pacing_call(n) for n in body)
+            if sends and not paced:
+                self._flag(node, "CRZ008")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _walk_loop_body(stmts: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+        """Walk loop statements without descending into nested defs —
+        a closure's send happens on *its* schedule, not the loop's."""
+        stack: List[ast.AST] = list(stmts)
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    @staticmethod
+    def _is_send_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in _SEND_ATTRS
+        return isinstance(func, ast.Name) and func.id in _SEND_ATTRS
+
+    @staticmethod
+    def _is_pacing_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in _PACING_ATTRS
+        return isinstance(func, ast.Name) and func.id in _PACING_ATTRS
 
     # -- CRZ003: swallowed exception ------------------------------------
 

@@ -132,7 +132,8 @@ def run_storm(scheduler: str,
               n_nodes: int = DEFAULT_NODES,
               n_flows: int = DEFAULT_FLOWS,
               segments_per_flow: int = DEFAULT_SEGMENTS,
-              window_s: float = DEFAULT_STORM_WINDOW_S) -> Dict[str, object]:
+              window_s: float = DEFAULT_STORM_WINDOW_S,
+              driver=None) -> Dict[str, object]:
     """Replay the TCP stack's timer trace through the raw scheduler.
 
     Each of ``n_flows`` flows performs ``segments_per_flow`` segment
@@ -218,8 +219,13 @@ def run_storm(scheduler: str,
     # Past the last possible RTO/delayed-ACK deadline: the legacy heap
     # must drain every leaked entry before the clock can get here.
     horizon = active_until + STORM_RTO_S + STORM_DELACK_S + 0.05
+    # ``driver`` lets bench/mc.py time an alternative event loop over the
+    # byte-identical workload (its oracle-hook overhead guard).
     started = time.perf_counter()  # cruz: noqa[CRZ001] benchmark timing
-    sim.run(until=horizon)
+    if driver is None:
+        sim.run(until=horizon)
+    else:
+        driver(sim, horizon)
     wall_s = time.perf_counter() - started  # cruz: noqa[CRZ001] bench
     stats = sim.stats()
     popped = int(stats["popped"])

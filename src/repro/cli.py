@@ -209,6 +209,14 @@ def _cmd_bench(args) -> int:
             status = migration.check(
                 baseline, max_pause_ratio=args.max_pause_ratio,
                 tolerance=args.tolerance, **workload)
+    elif args.suite == "mc":
+        from repro.bench import mc as bench_mc
+        baseline = args.baseline or bench_mc.DEFAULT_BASELINE
+        if args.save:
+            status = bench_mc.save_baseline(baseline)
+        else:
+            status = bench_mc.check(baseline, tolerance=args.tolerance,
+                                    overhead_limit=args.overhead_limit)
     elif args.suite == "store":
         from repro.bench import store
         baseline = args.baseline or store.DEFAULT_BASELINE
@@ -341,7 +349,16 @@ def _cmd_analyze(args) -> int:
     """Schedule-race detection: run twice with perturbed tie-breaking."""
     from repro.analysis.determinism import run_determinism_check
 
-    report = run_determinism_check(nodes=args.nodes, rounds=args.rounds)
+    # Exit 1 means "nondeterminism found"; anything that stops the
+    # harness itself from producing a verdict is exit 2.
+    try:
+        report = run_determinism_check(nodes=args.nodes,
+                                       rounds=args.rounds,
+                                       seeds=args.seeds)
+    except Exception as exc:
+        print(f"analyze determinism: harness error — "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     if args.json:
         _emit_json({
             "command": "analyze",
@@ -355,6 +372,71 @@ def _cmd_analyze(args) -> int:
         return EXIT_OK if report.deterministic else EXIT_VIOLATIONS
     print(report.render())
     return EXIT_OK if report.deterministic else EXIT_VIOLATIONS
+
+
+def _cmd_mc(args) -> int:
+    """CruzMC: bounded model checking of the coordination protocol."""
+    from repro.analysis import mc
+
+    if args.replay:
+        try:
+            trace = mc.load_trace(args.replay)
+            outcome = mc.replay(trace)
+        except Exception as exc:
+            print(f"mc replay: harness error — "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if args.json:
+            _emit_json({"command": "mc", "mode": "replay",
+                        "trace": args.replay, **outcome})
+        else:
+            status = ("bit-identical"
+                      if outcome["identical"] else "DIVERGED")
+            print(f"mc replay[{args.replay}]: {status} — reproduced "
+                  f"violations {outcome['violation_codes']} "
+                  f"(recorded {outcome['recorded_codes']})")
+        if not outcome["identical"]:
+            return EXIT_USAGE
+        return (EXIT_VIOLATIONS if outcome["violation_codes"]
+                else EXIT_OK)
+
+    for bug in args.inject_bug:
+        if bug not in mc.KNOWN_BUGS:
+            print(f"mc: unknown bug {bug!r} "
+                  f"(known: {sorted(mc.KNOWN_BUGS)})", file=sys.stderr)
+            return EXIT_USAGE
+    config = mc.McConfig(
+        nodes=args.nodes, rounds=args.rounds,
+        max_states=args.max_states, max_depth=args.max_depth,
+        branch_scope=args.branch_scope, por=not args.no_por,
+        fault_modes=tuple(f for f in args.faults.split(",") if f),
+        fault_budget=args.fault_budget,
+        fault_kinds=(tuple(k for k in args.fault_kinds.split(",") if k)
+                     if args.fault_kinds else mc.DEFAULT_FAULT_KINDS),
+        dup_delay_s=args.dup_delay,
+        settle_s=args.settle,
+        bugs=tuple(args.inject_bug))
+    try:
+        report = mc.explore(config,
+                            stop_on_violation=not args.keep_going)
+    except Exception as exc:
+        print(f"mc: harness error — {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if report.counterexample is not None and args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(report.counterexample, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        _emit_json({"command": "mc", "mode": "explore",
+                    **report.to_json()})
+    else:
+        print(report.render())
+        if report.counterexample is not None and args.trace_out:
+            print(f"  wrote counterexample trace to {args.trace_out}")
+    if report.harness_errors:
+        return EXIT_USAGE
+    return EXIT_VIOLATIONS if report.violations else EXIT_OK
 
 
 def _cmd_chaos(args) -> int:
@@ -451,12 +533,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock regression guards (fig5 round time, "
              "simcore events/sec)")
     bench.add_argument("suite", nargs="?", default="fig5",
-                       choices=["fig5", "simcore", "migration", "store"],
+                       choices=["fig5", "simcore", "migration", "store",
+                                "mc"],
                        help="fig5: checkpoint-round wall clock; "
                             "simcore: scheduler events/sec speedup; "
                             "migration: pre-copy vs stop-and-copy "
                             "pause windows; store: sharded-restore "
-                            "bandwidth scaling and healing")
+                            "bandwidth scaling and healing; mc: model-"
+                            "checker states/sec, reduction ratio and "
+                            "oracle-hook overhead")
     bench.add_argument("--save", action="store_true",
                        help="record a new baseline instead of comparing")
     bench.add_argument("--compare", action="store_true",
@@ -488,11 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-scaling", type=float, default=3.0,
                        help="store: required restore bandwidth growth "
                             "from rf=1 to the largest rf (default 3.0)")
+    bench.add_argument("--overhead-limit", type=float, default=0.03,
+                       help="mc: max fractional slowdown the oracle "
+                            "hook may add to the no-oracle scheduler "
+                            "fast path (default 0.03)")
     bench.set_defaults(fn=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", parents=[common],
-        help="CruzSan determinism lint (CRZ001-CRZ006)")
+        help="CruzSan determinism lint (CRZ001-CRZ008)")
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint "
                            "(default: the repro source tree)")
@@ -515,7 +604,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fig5-small cluster size (default 2)")
     analyze.add_argument("--rounds", type=int, default=2,
                          help="checkpoint rounds per run (default 2)")
+    analyze.add_argument("--seeds", type=int, default=1,
+                         help="sweep this many RNG seeds (default 1)")
     analyze.set_defaults(fn=_cmd_analyze)
+
+    mc = sub.add_parser(
+        "mc", parents=[common],
+        help="CruzMC: exhaustively explore bounded schedule and fault "
+             "interleavings of the coordination protocol")
+    mc.add_argument("--nodes", type=int, default=2,
+                    help="application node count (default 2)")
+    mc.add_argument("--rounds", type=int, default=1,
+                    help="checkpoint rounds per run (default 1)")
+    mc.add_argument("--max-states", type=int, default=2000,
+                    help="run budget: stop after this many explored "
+                         "states (default 2000)")
+    mc.add_argument("--max-depth", type=int, default=200,
+                    help="choice-point depth bound per run (default 200)")
+    mc.add_argument("--branch-scope", choices=["control", "all"],
+                    default="control",
+                    help="branch only control-plane ties (default) or "
+                         "every tie")
+    mc.add_argument("--no-por", action="store_true",
+                    help="disable partial-order reduction (ample sets "
+                         "+ sleep sets); explore the raw tie space")
+    mc.add_argument("--faults", default="",
+                    help="comma list of fault modes to branch on: "
+                         "drop,dup,crash,partition (default: none)")
+    mc.add_argument("--fault-budget", type=int, default=1,
+                    help="max injected faults per run (default 1)")
+    mc.add_argument("--fault-kinds", default="",
+                    help="comma list of message kinds eligible for "
+                         "faults (default CHECKPOINT,DONE,CONTINUE,"
+                         "CONTINUE_DONE)")
+    mc.add_argument("--dup-delay", type=float, default=2e-3,
+                    help="redelivery delay for duplicated datagrams "
+                         "in seconds (default 0.002)")
+    mc.add_argument("--settle", type=float, default=0.5,
+                    help="post-round settle window in seconds before "
+                         "the end-state checks (default 0.5)")
+    mc.add_argument("--inject-bug", action="append", default=[],
+                    metavar="NAME",
+                    help="enable a seeded mutation from KNOWN_BUGS "
+                         "(counterexample self-test)")
+    mc.add_argument("--keep-going", action="store_true",
+                    help="keep exploring after the first violation")
+    mc.add_argument("--trace-out", default="",
+                    help="write the minimized counterexample trace "
+                         "JSON here")
+    mc.add_argument("--replay", default="", metavar="TRACE",
+                    help="re-execute a counterexample trace and verify "
+                         "it reproduces bit-identically")
+    mc.set_defaults(fn=_cmd_mc)
 
     chaos = sub.add_parser(
         "chaos", parents=[common],

@@ -53,7 +53,8 @@ class Cluster:
                  tiebreak: str = "fifo",
                  sanitize: Optional[bool] = None,
                  scheduler: str = "fast",
-                 link_coalesce_s: float = 0.0):
+                 link_coalesce_s: float = 0.0,
+                 oracle=None):
         if scheduler not in self.SCHEDULERS:
             raise ValueError(f"unknown scheduler preset {scheduler!r}")
         fast = scheduler == "fast"
@@ -61,7 +62,7 @@ class Cluster:
         self.sim = Simulator(tiebreak=tiebreak,
                              queue="calendar" if fast else "heap",
                              slotted_timers=fast, lightweight=fast,
-                             leaky_cancel=not fast)
+                             leaky_cancel=not fast, oracle=oracle)
         self.random = RandomStreams(seed)
         self.trace = Trace(enabled=trace_enabled)
         self.trace.attach_clock(lambda: self.sim.now)

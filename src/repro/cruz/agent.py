@@ -61,9 +61,14 @@ class CheckpointAgent:
                  codec: Optional[SocketCodec] = None,
                  continue_timeout_s: float = 120.0,
                  retry: Optional[RetryPolicy] = None,
-                 faults=None):
+                 faults=None, mc_bugs=frozenset()):
         self.node = node
         self.store = store
+        #: Model-checker mutation flags (see ``repro.analysis.mc``);
+        #: "stale-replay" disables the stale-epoch guard below *and* the
+        #: endpoint's duplicate suppression, re-opening the hole where a
+        #: replayed CHECKPOINT re-runs a finished round.
+        self.mc_bugs = frozenset(mc_bugs)
         #: Coordinator-failure tolerance (§5.1: "can be extended in a
         #: straightforward way"): if <continue> never arrives, the agent
         #: aborts unilaterally — resumes its pod, re-enables
@@ -107,7 +112,7 @@ class CheckpointAgent:
         self.endpoint = ReliableEndpoint(
             node, AGENT_PORT, self._on_message, policy=retry,
             faults=faults, is_alive=lambda: not self.crashed,
-            name=f"agent@{node.name}")
+            name=f"agent@{node.name}", mc_bugs=self.mc_bugs)
 
     def register_pod(self, pod: Pod) -> None:
         self.pods[pod.name] = pod
@@ -200,7 +205,8 @@ class CheckpointAgent:
         if message.kind == protocol.ABORT:
             self._handle_abort(message.epoch)
             return
-        if message.epoch <= self.last_completed_epoch:
+        if message.epoch <= self.last_completed_epoch and \
+                "stale-replay" not in self.mc_bugs:
             # Stale: a retransmission (or reordered stray) for a round
             # this agent already finished. Re-running it would re-create
             # round state that nothing ever reclaims — ignore it.

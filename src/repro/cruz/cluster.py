@@ -16,7 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.cluster import Cluster
 from repro.cruz.agent import CheckpointAgent
@@ -62,9 +62,15 @@ class CruzCluster(Cluster):
                  evict_on_suspect: bool = False,
                  store_backend: str = "sharded",
                  replication_factor: Optional[int] = None,
+                 mc_bugs: FrozenSet[str] = frozenset(),
                  **kwargs):
         super().__init__(n_app_nodes + 1, **kwargs)
         self.n_app_nodes = n_app_nodes
+        #: Seeded mutation flags for the CruzMC model checker's
+        #: counterexample tests (``repro.analysis.mc.KNOWN_BUGS``) —
+        #: each re-opens a fixed, historically real protocol hole.
+        #: Always empty in production paths.
+        self.mc_bugs = frozenset(mc_bugs)
         self.codec = codec if codec is not None else CruzSocketCodec()
         #: The chunk space is sharded across the app nodes' disks by
         #: default (RF copies per chunk, writer affinity for the
@@ -99,7 +105,8 @@ class CruzCluster(Cluster):
         self.agents: List[CheckpointAgent] = [
             CheckpointAgent(node, self.store, codec=self.codec,
                             retry=control_retry,
-                            faults=self.fault_injector)
+                            faults=self.fault_injector,
+                            mc_bugs=self.mc_bugs)
             for node in self.nodes[:n_app_nodes]]
         self.coordinator_node = self.nodes[n_app_nodes]
         self.coordinator_timeout_s = coordinator_timeout_s

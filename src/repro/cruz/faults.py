@@ -85,6 +85,11 @@ class ControlFaultInjector:
         self.sim = sim
         self.rng = rng
         self.plans: List[FaultPlan] = []
+        #: Model-checker hook (``repro.analysis.oracle``): when set, the
+        #: oracle *decides* each datagram's fate (a branchable choice
+        #: point) instead of the seeded probability draw; plans are
+        #: bypassed entirely for the run.
+        self.oracle = None
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
@@ -107,6 +112,11 @@ class ControlFaultInjector:
     def apply(self, message: ControlMessage,
               transmit: Callable[[], None]) -> bool:
         """Returns True when the injector handled (or ate) the datagram."""
+        if self.oracle is not None:
+            if self.oracle.fault(message, transmit, self):
+                return True
+            self.passed += 1
+            return False
         for plan in self.plans:
             if not plan.matches(message):
                 continue

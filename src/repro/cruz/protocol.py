@@ -193,13 +193,17 @@ class ReliableEndpoint:
                  policy: Optional[RetryPolicy] = None,
                  faults=None,
                  is_alive: Optional[Callable[[], bool]] = None,
-                 name: str = ""):
+                 name: str = "", mc_bugs=frozenset()):
         self.node = node
         self.port = port
         self.handler = handler
         self.policy = policy if policy is not None else RetryPolicy()
         #: Optional :class:`repro.cruz.faults.ControlFaultInjector`.
         self.faults = faults
+        #: Model-checker mutation flags (``repro.analysis.mc``):
+        #: "stale-replay" turns off receiver-side duplicate suppression,
+        #: re-delivering every copy of a message to the handler.
+        self.mc_bugs = frozenset(mc_bugs)
         self._is_alive = is_alive if is_alive is not None \
             else (lambda: True)
         self.name = name or f"endpoint@{node.name}:{port}"
@@ -355,7 +359,7 @@ class ReliableEndpoint:
         # ACK (or the original delivery window) was lost, so re-ACK it.
         self._send_ack(src_ip, src_port, payload)
         key = (src_ip,) + payload.dedup_key
-        if key in self._seen:
+        if key in self._seen and "stale-replay" not in self.mc_bugs:
             self.duplicates += 1
             self.duplicates_by_epoch[payload.epoch] = \
                 self.duplicates_by_epoch.get(payload.epoch, 0) + 1

@@ -290,7 +290,7 @@ class Simulator:
 
     def __init__(self, tiebreak: str = "fifo", queue: str = "calendar",
                  slotted_timers: bool = True, lightweight: bool = True,
-                 leaky_cancel: bool = False):
+                 leaky_cancel: bool = False, oracle: Any = None):
         if tiebreak not in self.TIEBREAKS:
             raise SimulationError(f"unknown tiebreak {tiebreak!r}")
         self._now = 0.0
@@ -298,6 +298,12 @@ class Simulator:
             queue, sequence_sign=1 if tiebreak == "fifo" else -1)
         self._running = False
         self.tiebreak = tiebreak
+        #: Schedule oracle (``repro.analysis.oracle``): when set, every
+        #: pop routes through :meth:`_pop_choice` so the oracle decides
+        #: among same-``(time, priority)`` ties. ``None`` (the default)
+        #: keeps the original hot loop — the queue's signed sequence is
+        #: then the whole tie-break policy, exactly as before the hook.
+        self._oracle = oracle
         #: Whether high-churn timers (TCP) use the hashed timer wheel
         #: (``repro.sim.timers``) or exact per-timer events; the wheel
         #: attaches itself here lazily on first use.
@@ -394,13 +400,61 @@ class Simulator:
 
     # -- scheduling internals --------------------------------------------
 
+    def set_oracle(self, oracle: Any) -> None:
+        """Install (or clear) the schedule oracle.
+
+        Takes effect on the next :meth:`run`/:meth:`step` call — a loop
+        already inside :meth:`run` keeps the pop path it started with.
+        """
+        self._oracle = oracle
+
+    @property
+    def oracle(self) -> Any:
+        return self._oracle
+
+    def _pop_choice(self, limit: float) -> Optional[Any]:
+        """Oracle-mediated pop: collect the (time, priority) tie set,
+        let the oracle pick one member, reinsert the rest.
+
+        Entries tie iff they share the head's exact time and priority;
+        collection stops at the first entry with a different priority
+        (queue order guarantees nothing after it can still tie). The
+        tie set is presented in queue order, so an oracle returning 0
+        is bit-identical to no oracle at all.
+        """
+        queue = self._queue
+        first = queue.pop_due(limit)
+        if first is None:
+            return None
+        when = first[0]
+        ties = [first]
+        while True:
+            peer = queue.pop_due(when)
+            if peer is None:
+                break
+            if peer[1] != first[1]:
+                queue.reinsert(peer)
+                break
+            ties.append(peer)
+        if len(ties) == 1:
+            return first
+        chosen = ties.pop(self._oracle.choose(ties, when))
+        for entry in ties:
+            queue.reinsert(entry)
+        return chosen
+
     def _schedule_event(self, event: Event, delay: float,
                         priority: int = NORMAL) -> None:
         event._qentry = self._queue.push(self._now + delay, priority, event)
 
     def step(self) -> None:
         """Process the single next event."""
-        entry = self._queue.pop()
+        if self._oracle is None:
+            entry = self._queue.pop()
+        else:
+            entry = self._pop_choice(math.inf)
+            if entry is None:
+                raise IndexError("pop from an empty event queue")
         when = entry[0]
         target = entry[3]
         if when < self._now:
@@ -425,9 +479,12 @@ class Simulator:
         try:
             # Inlined step(): one pop_due call per event replaces the
             # len/peek/pop triple — this loop is the simulator's single
-            # hottest path.
+            # hottest path. With an oracle installed the pop routes
+            # through _pop_choice instead; selecting the callable once
+            # here keeps the no-oracle path free of per-event branches.
             queue = self._queue
-            pop_due = queue.pop_due
+            pop_due = queue.pop_due if self._oracle is None \
+                else self._pop_choice
             while True:
                 entry = pop_due(limit)
                 if entry is None:

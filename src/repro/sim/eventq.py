@@ -124,6 +124,19 @@ class HeapEventQueue:
             return entry
         raise IndexError("pop from an empty event queue")
 
+    def reinsert(self, entry: Entry) -> None:
+        """Push back a just-popped live entry, key (incl. sequence) intact.
+
+        The schedule-oracle hook pops every entry tied on
+        ``(time, priority)`` to present them as a choice, then returns
+        the unchosen ones. Reinsertion preserves the original signed
+        sequence — tie order is untouched — and undoes the pop's effect
+        on the live/popped counters so ``stats()`` reflects net work.
+        """
+        heappush(self._heap, entry)
+        self._live += 1
+        self._stats.popped -= 1
+
     def pop_due(self, limit: float) -> Optional[Entry]:
         """Pop the next live entry due at or before ``limit``, else None.
 
@@ -301,6 +314,26 @@ class CalendarEventQueue:
                 self._migrate()
                 continue
             raise IndexError("pop from an empty event queue")
+
+    def reinsert(self, entry: Entry) -> None:
+        """Push back a just-popped live entry, key (incl. sequence) intact.
+
+        Same contract as :meth:`HeapEventQueue.reinsert`; placement
+        mirrors :meth:`push` (ring bucket when the window covers the
+        entry's time, overflow heap otherwise) without minting a new
+        sequence number.
+        """
+        cur = self._cur
+        index = int(entry[0] * self._inv_width)
+        if index <= cur:
+            index = cur
+        if index < cur + self._n:
+            heappush(self._ring[index % self._n], entry)
+            self._near += 1
+        else:
+            heappush(self._overflow, entry)
+        self._live += 1
+        self._stats.popped -= 1
 
     def pop_due(self, limit: float) -> Optional[Entry]:
         """Pop the next live entry due at or before ``limit``, else None."""

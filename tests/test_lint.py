@@ -257,6 +257,84 @@ def test_facade_and_other_chunks_receivers_not_flagged():
     """) == []
 
 
+# -- CRZ008: unbounded retry loops -----------------------------------------
+
+
+def test_unpaced_retry_loop_flagged():
+    assert codes("""
+        def retry_forever(self, message):
+            while True:
+                self.endpoint.send(message)
+    """) == ["CRZ008"]
+
+
+def test_retransmit_variants_flagged():
+    snippet = """
+        def storm_a(self):
+            while True:
+                self.retransmit()
+
+        def storm_b(sock, data, addr):
+            while True:
+                sock.sendto(data, addr)
+    """
+    assert codes(snippet) == ["CRZ008", "CRZ008"]
+
+
+def test_paced_retry_loop_not_flagged():
+    # The heartbeat pattern: an infinite loop is fine when each lap
+    # yields on a timer.
+    assert codes("""
+        def heartbeat_loop(self):
+            while True:
+                yield self.sim.timeout(self.interval_s)
+                self.endpoint.send_unreliable(self.beat())
+    """) == []
+
+
+def test_bounded_retry_loop_not_flagged():
+    # protocol.RetryPolicy's shape: a for-range budget, not while True.
+    assert codes("""
+        def retransmit_loop(self, message):
+            for attempt in range(self.policy.max_retries):
+                self.send(message)
+                yield self.sim.timeout(self.policy.backoff(attempt))
+    """) == []
+
+
+def test_send_inside_nested_def_not_attributed_to_loop():
+    # A closure defined in the loop sends on its own schedule; the loop
+    # itself is a plain dispatcher.
+    assert codes("""
+        def dispatcher(self):
+            while True:
+                def flush():
+                    self.endpoint.send(self.pending)
+                self.callbacks.append(flush)
+                if self.done:
+                    break
+    """) == []
+
+
+def test_non_sending_infinite_loop_not_flagged():
+    assert codes("""
+        def drain(queue):
+            while True:
+                entry = queue.pop_due(1.0)
+                if entry is None:
+                    break
+    """) == []
+
+
+def test_crz008_noqa_with_reason_suppresses():
+    assert codes("""
+        def blast(self, message):
+            # paced by the caller's token bucket
+            while True:  # cruz: noqa[CRZ008]
+                self.send(message)
+    """) == []
+
+
 # -- noqa suppression ------------------------------------------------------
 
 

@@ -1,0 +1,306 @@
+"""CruzMC: the schedule-and-fault model checker (``repro mc``).
+
+Covers the scheduler oracle hook (degenerate oracles are bit-identical
+to plain tie-breaking), queue ``reinsert``, the DFS explorer
+(exhaustion, reduction, end-state checks), the partition-placement
+sweep, and the seeded-mutation counterexample pipeline (find, minimize,
+replay bit-identically).
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis import mc
+from repro.analysis.determinism import (
+    run_determinism_check,
+    state_hash,
+)
+from repro.analysis.oracle import (
+    ExplorerOracle,
+    FifoOracle,
+    LifoOracle,
+    ReplayDivergence,
+    ample_candidates,
+)
+from repro.sim.core import Simulator
+from repro.sim.eventq import CalendarEventQueue, HeapEventQueue
+
+
+# -- oracle hook: degenerate oracles refine the queue exactly -------------
+
+
+def _pop_order(tiebreak=None, oracle=None):
+    sim = Simulator(**({"tiebreak": tiebreak} if tiebreak else {}),
+                    oracle=oracle)
+    order = []
+    for name in "abcd":
+        sim.call_at(1.0, order.append, name)
+    sim.call_at(2.0, order.append, "z")
+    sim.run()
+    return order
+
+
+def test_fifo_oracle_matches_plain_fifo():
+    assert _pop_order(oracle=FifoOracle()) == _pop_order("fifo")
+
+
+def test_lifo_oracle_on_fifo_queue_matches_plain_lifo():
+    assert _pop_order(oracle=LifoOracle()) == _pop_order("lifo")
+
+
+def test_no_oracle_run_is_unchanged():
+    assert _pop_order() == list("abcd") + ["z"]
+
+
+def test_oracle_sees_events_scheduled_mid_tie():
+    # An event scheduled *during* a tie batch at the same timestamp must
+    # reach the oracle on the next pop (lifo pops it first).
+    sim = Simulator(oracle=LifoOracle())
+    order = []
+
+    def first():
+        order.append("first")
+        sim.call_at(sim.now, order.append, "late")
+
+    sim.call_at(1.0, order.append, "early")
+    sim.call_at(1.0, first)
+    sim.run()
+    assert order == ["first", "late", "early"]
+
+
+def test_run_policy_matches_plain_tiebreak_cluster():
+    # The pre-oracle implementation built CruzCluster(tiebreak=...);
+    # the degenerate oracles must reproduce it bit-for-bit.
+    from repro.apps.slm import slm_factory
+    from repro.cruz.cluster import CruzCluster
+
+    def plain(tiebreak):
+        cluster = CruzCluster(2, tiebreak=tiebreak)
+        app = cluster.launch_app_factory(
+            "slm", 2, slm_factory(2, global_rows=16, cols=32,
+                                  steps=100000, total_work_s=1e6,
+                                  memory_mb_per_rank=4.0))
+        cluster.run_for(0.5)
+        stats = []
+        for _ in range(2):
+            cluster.run_for(0.2)
+            stats.append(asdict(cluster.checkpoint_app(app)))
+        return {"rounds": stats, "state_hash": state_hash(cluster)}
+
+    for policy in ("fifo", "lifo"):
+        oracle_run = mc.run_policy(policy)
+        reference = plain(policy)
+        assert oracle_run["rounds"] == reference["rounds"]
+        assert oracle_run["state_hash"] == reference["state_hash"]
+
+
+# -- queue reinsert -------------------------------------------------------
+
+
+@pytest.mark.parametrize("queue_cls", [HeapEventQueue, CalendarEventQueue])
+def test_reinsert_restores_pop_order(queue_cls):
+    queue = queue_cls()
+    for name in "abc":
+        queue.push(1.0, 1, name)
+    first = queue.pop_due(1.0)
+    second = queue.pop_due(1.0)
+    queue.reinsert(second)
+    queue.reinsert(first)
+    assert [queue.pop_due(1.0)[3] for _ in range(3)] == list("abc")
+    assert queue.pop_due(10.0) is None
+
+
+@pytest.mark.parametrize("queue_cls", [HeapEventQueue, CalendarEventQueue])
+def test_reinsert_keeps_live_count(queue_cls):
+    queue = queue_cls()
+    queue.push(1.0, 1, "a")
+    entry = queue.pop_due(1.0)
+    queue.reinsert(entry)
+    assert len(queue) == 1
+    assert queue.pop_due(1.0) is entry
+    assert len(queue) == 0
+
+
+# -- partial-order machinery ----------------------------------------------
+
+
+def test_ample_candidates_picks_smallest_ownership_class():
+    owners = ["node0", "node1", "node0", "node1", "node1"]
+    assert ample_candidates(owners) == [0, 2]
+
+
+def test_ample_candidates_collapses_on_unknown_owner():
+    assert ample_candidates(["node0", None, "node1"]) == [0, 1, 2]
+
+
+def test_replay_divergence_on_out_of_range_choice():
+    oracle = ExplorerOracle(forced=[99], branch_scope="all", por=False)
+    sim = Simulator(oracle=oracle)
+    hits = []
+    sim.call_at(1.0, hits.append, "a")
+    sim.call_at(1.0, hits.append, "b")
+    with pytest.raises(ReplayDivergence):
+        sim.run()
+
+
+# -- explorer -------------------------------------------------------------
+
+
+@pytest.mark.mc
+def test_schedule_exploration_exhausts_clean():
+    report = mc.explore(mc.McConfig(max_states=500))
+    assert report.exhausted
+    assert not report.violations
+    assert not report.harness_errors
+    assert report.runs > 1
+    # Every interleaving of a fault-free round converges to the same
+    # terminal state.
+    assert report.distinct_states == 1
+    assert report.orderings_pruned > 0
+
+
+@pytest.mark.mc
+def test_partition_at_every_choice_point_stays_reconstructible():
+    # The satellite guarantee: a network partition dropped at any fault
+    # choice point of a 2-node round never yields a committed version
+    # that cannot be reconstructed — and never leaves a pod paused or a
+    # netfilter rule behind once the agents' unilateral timeout passes.
+    config = mc.McConfig(fault_modes=("partition",), fault_budget=1,
+                         continue_timeout_s=1.0, settle_s=2.5)
+    clean = mc.run_once(config)
+    assert clean.error is None
+    fault_points = [index for index, choice in enumerate(clean.choices)
+                    if choice.kind == "fault"]
+    assert len(fault_points) >= 4     # both rounds' control datagrams
+    for index in fault_points:
+        forced = [0] * index + [1]    # option 1 = partition
+        result = mc.run_once(config, forced)
+        assert result.error is None, result.error
+        assert result.choices[index].kind == "fault"
+        assert result.choices[index].chosen == 1
+        codes = result.violation_codes
+        assert "MC-END-RECONSTRUCT" not in codes
+        assert not codes, (index, result.choices[index].label, codes)
+
+
+@pytest.mark.mc
+def test_mutation_produces_replayable_counterexample(tmp_path):
+    config = mc.McConfig(fault_modes=("dup",),
+                         fault_kinds=("CHECKPOINT",),
+                         fault_budget=1, dup_delay_s=1.0, settle_s=2.0,
+                         bugs=("stale-replay",))
+    report = mc.explore(config)
+    assert report.violations, "seeded mutation was not detected"
+    codes = {v["code"] for v in report.violations}
+    assert "MC-END-PAUSED" in codes
+    assert "MC-END-NETFILTER" in codes
+    trace = report.counterexample
+    assert trace is not None
+    # The minimized trace survives a JSON round-trip and replays to the
+    # bit-identical violation (same codes, same terminal state hash).
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(trace))
+    outcome = mc.replay(json.loads(path.read_text()))
+    assert outcome["identical"], outcome
+    # The same fault space without the mutation is violation-free.
+    fixed = mc.McConfig(**{**config.to_json(), "bugs": ()})
+    fixed_report = mc.explore(fixed, stop_on_violation=False)
+    assert fixed_report.exhausted
+    assert not fixed_report.violations
+
+
+@pytest.mark.mc
+def test_minimized_trace_is_at_most_original_length():
+    config = mc.McConfig(fault_modes=("dup",),
+                         fault_kinds=("CHECKPOINT",),
+                         fault_budget=1, dup_delay_s=1.0, settle_s=2.0,
+                         bugs=("stale-replay",))
+    report = mc.explore(config)
+    forced = report.counterexample["forced"]
+    # Greedy minimization: at most one non-default choice survives for
+    # this single-fault bug.
+    assert sum(1 for choice in forced if choice != 0) == 1
+
+
+# -- determinism rebuild ---------------------------------------------------
+
+
+def test_determinism_check_unchanged_default_surface():
+    report = run_determinism_check(rounds=1)
+    assert report.deterministic
+    assert sorted(report.fingerprints) == ["fifo", "lifo"]
+    assert report.workload == "fig5-small[n=2]"
+    assert "PASS — tie-break perturbation is invisible" in report.render()
+
+
+@pytest.mark.mc
+def test_determinism_multi_seed_sweep():
+    report = run_determinism_check(rounds=1, seeds=2)
+    assert report.deterministic
+    assert sorted(report.fingerprints) == [
+        "fifo", "fifo@seed1", "lifo", "lifo@seed1"]
+    # Each seed's fifo/lifo pair agreed (that's what deterministic
+    # asserts); the sweep itself must be reproducible run to run.
+    again = run_determinism_check(rounds=1, seeds=2)
+    assert again.fingerprints == report.fingerprints
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def test_cli_mc_smoke_json(capsys):
+    from repro.cli import main
+
+    assert main(["mc", "--rounds", "1", "--nodes", "2",
+                 "--max-states", "2000", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["exhausted"] is True
+    assert report["violations"] == []
+    assert report["harness_errors"] == []
+
+
+@pytest.mark.mc
+def test_cli_mc_mutation_and_replay_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    trace_path = tmp_path / "ce.json"
+    assert main(["mc", "--faults", "dup", "--fault-kinds", "CHECKPOINT",
+                 "--dup-delay", "1.0", "--settle", "2.0",
+                 "--inject-bug", "stale-replay",
+                 "--trace-out", str(trace_path)]) == 1
+    capsys.readouterr()
+    assert trace_path.exists()
+    assert main(["mc", "--replay", str(trace_path)]) == 1
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+
+
+def test_cli_mc_rejects_unknown_bug(capsys):
+    from repro.cli import main
+
+    assert main(["mc", "--inject-bug", "no-such-bug"]) == 2
+    assert "unknown bug" in capsys.readouterr().err
+
+
+def test_cli_analyze_distinguishes_harness_error(capsys, monkeypatch):
+    from repro import cli
+    from repro.analysis import determinism
+
+    def boom(**kwargs):
+        raise RuntimeError("driver fell over")
+
+    monkeypatch.setattr(determinism, "run_determinism_check", boom)
+    assert cli.main(["analyze", "determinism"]) == 2
+    assert "harness error" in capsys.readouterr().err
+
+
+def test_cli_analyze_seeds_flag(capsys):
+    from repro.cli import main
+
+    assert main(["analyze", "determinism", "--rounds", "1",
+                 "--seeds", "2", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["deterministic"] is True
+    assert "fifo@seed1" in report["state_hashes"]
