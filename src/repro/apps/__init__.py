@@ -2,7 +2,14 @@
 
 from repro.apps.compute import ComputeBound, compute_factory
 from repro.apps.dhcp_client import DhcpClient
-from repro.apps.kvserver import KvClient, KvServer, KvServerMulti
+from repro.apps.kvproxy import KvProxy
+from repro.apps.kvserver import (
+    KvClient,
+    KvServer,
+    KvServerMulti,
+    KvSessionClient,
+    build_session_script,
+)
 from repro.apps.pagerank import (
     PageRankRank,
     build_link_matrix,
@@ -26,13 +33,16 @@ __all__ = [
     "ComputeBound",
     "DhcpClient",
     "KvClient",
+    "KvProxy",
     "KvServer",
     "KvServerMulti",
+    "KvSessionClient",
     "PageRankRank",
     "RingWorker",
     "SlmRank",
     "StreamReceiver",
     "StreamSender",
+    "build_session_script",
     "compute_factory",
     "build_link_matrix",
     "initial_field",

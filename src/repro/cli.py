@@ -217,6 +217,14 @@ def _cmd_bench(args) -> int:
         else:
             status = bench_mc.check(baseline, tolerance=args.tolerance,
                                     overhead_limit=args.overhead_limit)
+    elif args.suite == "slo":
+        from repro.bench import slo
+        baseline = args.baseline or slo.DEFAULT_BASELINE
+        if args.save:
+            status = slo.save_baseline(baseline)
+        else:
+            status = slo.check(baseline, p99_limit_s=args.p99_limit,
+                               tolerance=args.tolerance)
     elif args.suite == "store":
         from repro.bench import store
         baseline = args.baseline or store.DEFAULT_BASELINE
@@ -439,10 +447,128 @@ def _cmd_mc(args) -> int:
     return EXIT_VIOLATIONS if report.violations else EXIT_OK
 
 
+def _render_serve(report: dict, divergences: List[str]) -> List[str]:
+    """Human-readable summary of one serving-gauntlet report."""
+    slo = report["slo"]
+    overall = slo["overall"]
+    lines = [
+        f"requests: {overall['requests']} from {slo['clients']} "
+        f"client(s)  "
+        + (f"p50 {overall['p50_s'] * 1e3:.2f}ms  "
+           f"p99 {overall['p99_s'] * 1e3:.2f}ms  "
+           f"max {overall['max_s'] * 1e3:.2f}ms"
+           if overall["p99_s"] is not None else "(no samples)"),
+        f"status: {overall['by_status']}  "
+        f"extra attempts: {overall['extra_attempts']}",
+    ]
+    for window in slo["windows"]:
+        p99 = window["p99_s"]
+        p99_txt = f"p99 {p99 * 1e3:8.2f}ms" if p99 is not None \
+            else "      (idle)"
+        lines.append(f"  {window['window']:>14}: "
+                     f"{window['requests']:3d} req  {p99_txt}  "
+                     f"{window['by_status']}")
+    lines.append(f"client counters: {slo['counters']}")
+    proxy = report["proxy"]
+    lines.append(f"proxy: writes={proxy['writes']} "
+                 f"reads={proxy['reads']} sheds={proxy['sheds']} "
+                 f"dups_served={proxy['dups_served']} "
+                 f"sync_replays={proxy['sync_replays']} "
+                 f"reconnects={proxy['backend_reconnects']}")
+    if report["canary"] is not None:
+        lines.append(f"canary: {report['canary']}")
+    lines.append(
+        f"replicas consistent: {report['replicas_consistent']}  "
+        f"(store digest {report['store_digest'][:12]}..., "
+        f"{report['store_size']} keys)")
+    lines.append(f"client exits: {report['client_exits']}  "
+                 f"client-visible errors: {report['client_errors']}")
+    if divergences:
+        lines.append(f"determinism: FAIL — {divergences[:3]}")
+    return lines
+
+
+def _cmd_serve(args) -> int:
+    """Sessionful serving under SLO through every Cruz disruption."""
+    from repro.serve.harness import run_serve, serve_determinism
+
+    kwargs = dict(
+        backends=args.backends, clients=args.clients,
+        sessions=args.sessions,
+        requests_per_session=args.requests_per_session,
+        rounds=args.rounds, failover=args.failover,
+        migrate=args.migrate, canary=args.canary,
+        kill_backend=args.kill_backend,
+        canary_divergence=args.canary_divergence, seed=args.seed)
+    divergences: List[str] = []
+    if args.check_determinism:
+        result = serve_determinism(**kwargs)
+        report = result["fifo"]
+        divergences = result["diffs"]
+    else:
+        report = run_serve(**kwargs)
+    ok = report["ok"] and not divergences
+    if args.json:
+        _emit_json({"command": "serve", "ok": ok,
+                    "determinism_divergences": divergences,
+                    "report": report})
+        return EXIT_OK if ok else EXIT_VIOLATIONS
+    for line in _render_serve(report, divergences):
+        print(line)
+    if args.check_determinism and not divergences:
+        print("determinism: PASS (fifo == lifo)")
+    print("serve: " + ("OK" if ok else "FAILED"))
+    return EXIT_OK if ok else EXIT_VIOLATIONS
+
+
+def _chaos_kill_backend(args) -> int:
+    """``chaos --kill-backend``: silent backend-pod destruction.
+
+    The proxy must detect the dead backend, shed or retry the affected
+    requests within the SLO (zero client-visible errors, bounded p99),
+    and log-replay the restored replica back to consistency.
+    """
+    from repro.serve.harness import run_serve, serve_determinism
+
+    kwargs = dict(backends=3, clients=3, sessions=4,
+                  requests_per_session=4, rounds=1, kill_backend=True,
+                  seed=args.seed)
+    divergences: List[str] = []
+    if args.check_determinism:
+        result = serve_determinism(**kwargs)
+        report = result["fifo"]
+        divergences = result["diffs"]
+    else:
+        report = run_serve(**kwargs)
+    p99 = report["slo"]["overall"]["p99_s"]
+    within_slo = p99 is not None and p99 <= 1.0
+    ok = report["ok"] and within_slo and not divergences
+    counters = report["slo"]["counters"]
+    if args.json:
+        _emit_json({"command": "chaos", "mode": "kill-backend",
+                    "ok": ok, "p99_s": p99,
+                    "client_errors": report["client_errors"],
+                    "sheds": counters["sheds"],
+                    "retries": counters["retries"],
+                    "replicas_consistent":
+                        report["replicas_consistent"],
+                    "determinism_divergences": divergences,
+                    "report": report})
+        return EXIT_OK if ok else EXIT_VIOLATIONS
+    for line in _render_serve(report, divergences):
+        print(line)
+    print(f"kill-backend: p99 {p99 * 1e3:.2f}ms (limit 1000ms), "
+          f"{counters['sheds']} shed(s), {counters['retries']} "
+          f"retrie(s) — " + ("OK" if ok else "FAILED"))
+    return EXIT_OK if ok else EXIT_VIOLATIONS
+
+
 def _cmd_chaos(args) -> int:
     """Seeded chaos run: crash a node mid-round, demand self-healing."""
     from repro.bench.chaos import chaos_determinism, run_chaos
 
+    if args.kill_backend:
+        return _chaos_kill_backend(args)
     result = run_chaos(seed=args.seed, crash_node_index=args.crash_node,
                        link_flap=not args.no_flap,
                        evict_on_suspect=args.evict_on_suspect,
@@ -534,14 +660,16 @@ def build_parser() -> argparse.ArgumentParser:
              "simcore events/sec)")
     bench.add_argument("suite", nargs="?", default="fig5",
                        choices=["fig5", "simcore", "migration", "store",
-                                "mc"],
+                                "mc", "slo"],
                        help="fig5: checkpoint-round wall clock; "
                             "simcore: scheduler events/sec speedup; "
                             "migration: pre-copy vs stop-and-copy "
                             "pause windows; store: sharded-restore "
                             "bandwidth scaling and healing; mc: model-"
                             "checker states/sec, reduction ratio and "
-                            "oracle-hook overhead")
+                            "oracle-hook overhead; slo: serving-fleet "
+                            "p99/error floors through the full "
+                            "disruption gauntlet")
     bench.add_argument("--save", action="store_true",
                        help="record a new baseline instead of comparing")
     bench.add_argument("--compare", action="store_true",
@@ -577,6 +705,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mc: max fractional slowdown the oracle "
                             "hook may add to the no-oracle scheduler "
                             "fast path (default 0.03)")
+    bench.add_argument("--p99-limit", type=float, default=1.0,
+                       help="slo: max client-observed p99 latency in "
+                            "simulated seconds (default 1.0)")
     bench.set_defaults(fn=_cmd_bench)
 
     lint = sub.add_parser(
@@ -657,6 +788,43 @@ def build_parser() -> argparse.ArgumentParser:
                          "it reproduces bit-identically")
     mc.set_defaults(fn=_cmd_mc)
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="sessionful traffic under SLO: proxy + replicated kv "
+             "fleet riding out checkpoints, failover, migration and "
+             "canary restores")
+    serve.add_argument("--backends", type=int, default=3,
+                       help="replicated kv backends (default 3)")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent session clients (default 4)")
+    serve.add_argument("--sessions", type=int, default=8,
+                       help="sessions per client (default 8)")
+    serve.add_argument("--requests-per-session", type=int, default=5,
+                       help="requests per session (default 5)")
+    serve.add_argument("--rounds", type=int, default=2,
+                       help="coordinated checkpoint rounds under load "
+                            "(default 2)")
+    serve.add_argument("--failover", action="store_true",
+                       help="crash a backend node mid-traffic; the "
+                            "supervisor must restore it")
+    serve.add_argument("--migrate", action="store_true",
+                       help="live-migrate a backend pod mid-traffic")
+    serve.add_argument("--canary", action="store_true",
+                       help="run a canary rolling restore "
+                            "(drain/restore/verify/promote)")
+    serve.add_argument("--kill-backend", action="store_true",
+                       help="chaos: silently destroy a backend pod "
+                            "mid-traffic")
+    serve.add_argument("--canary-divergence", action="store_true",
+                       help="chaos: corrupt the restored canary so the "
+                            "read-back probe fails and it rolls back")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="workload seed (default 7)")
+    serve.add_argument("--check-determinism", action="store_true",
+                       help="run fifo and lifo tie-break and diff the "
+                            "client-visible reports")
+    serve.set_defaults(fn=_cmd_serve)
+
     chaos = sub.add_parser(
         "chaos", parents=[common],
         help="seeded node-crash chaos run with automatic failover")
@@ -676,6 +844,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "every committed version must stay "
                             "reconstructible, and re-replication must "
                             "heal the chunk space")
+    chaos.add_argument("--kill-backend", action="store_true",
+                       help="destroy a serving-fleet backend pod mid-"
+                            "traffic: the proxy must shed/retry within "
+                            "the SLO and log-replay the restored "
+                            "replica back to consistency")
     chaos.add_argument("--check-determinism", action="store_true",
                        help="also replay under LIFO tie-breaking and "
                             "diff the fingerprints")

@@ -227,6 +227,7 @@ class ChaosInjector:
         self.node_crashes = 0
         self.link_flaps = 0
         self.partitions = 0
+        self.pod_kills = 0
 
     def _record(self, kind: str, **details) -> None:
         self.log.append({"at": self.sim.now, "kind": kind, **details})
@@ -291,6 +292,54 @@ class ChaosInjector:
                 self.cluster.revive_node(node_index)
 
         self.sim.process(trigger(), name=f"chaos-crash-node{node_index}")
+
+    # -- pods ---------------------------------------------------------------
+
+    def schedule_pod_kill(self, pod_name: str, at: float,
+                          jitter_s: float = 0.0) -> float:
+        """Destroy one named pod at ``at`` (+ seeded jitter), silently.
+
+        The pod dies without FIN/RST to its peers and without taking the
+        node down — the proxy-backend-kill chaos mode: a serving backend
+        vanishes mid-request and the proxy must detect it by probe
+        timeout, shed or re-dispatch its in-flight work, and re-admit the
+        backend after an external restore. Returns the actual kill time.
+        """
+        kill_at = at + (self.rng.random() * jitter_s if jitter_s else 0.0)
+
+        def kill() -> None:
+            for agent in self.cluster.agents:
+                pod = agent.pods.get(pod_name)
+                if pod is not None:
+                    self.pod_kills += 1
+                    self._record("kill_pod", pod=pod_name,
+                                 node=agent.node.name)
+                    self.cluster.destroy_pod(pod)
+                    return
+            self._record("kill_pod_miss", pod=pod_name)
+
+        self.sim.call_at(kill_at, kill)
+        return kill_at
+
+    def canary_divergence(self, key: str, value: str = "corrupted"):
+        """A canary-verify-failure hook for ``serve.rollout``.
+
+        Returns a callable that silently flips ``key`` in every kv store
+        of the pod it is given — applied to a freshly restored canary
+        *before* the read-back probe, it makes the restored replica
+        diverge from the fleet so the rollout's verification must catch
+        it and roll back. The corruption is recorded in ``log`` like any
+        other injected fault.
+        """
+
+        def corrupt(pod) -> None:
+            self._record("canary_corrupt", pod=pod.name, key=key)
+            for proc in pod.processes():
+                store = getattr(proc.program, "store", None)
+                if isinstance(store, dict):
+                    store[key] = value
+
+        return corrupt
 
     def schedule_heartbeat_mute(self, node_index: int, at: float,
                                 duration_s: float,

@@ -141,6 +141,36 @@ class FailoverError(CoordinationError):
         super().__init__(f"failover of {app_name!r} failed: {reason}")
 
 
+class RolloutError(CoordinationError):
+    """A canary rolling restore failed verification and was rolled back.
+
+    Names the exact divergence: ``backend`` (index at the proxy),
+    ``stage`` (``"verify-image"`` or ``"read-back"``), and for read-back
+    mismatches the probed ``key`` with ``expected`` vs ``got``.
+    ``rolled_back`` reports whether the prior version was successfully
+    restored (the rollback itself re-verifies; a second failure leaves
+    it ``False`` and the message says so).
+    """
+
+    def __init__(self, app_name, backend, stage, key=None,
+                 expected=None, got=None, rolled_back=True, message=""):
+        self.app_name = app_name
+        self.backend = backend
+        self.stage = stage
+        self.key = key
+        self.expected = expected
+        self.got = got
+        self.rolled_back = rolled_back
+        if not message:
+            detail = (f" key {key!r}: expected {expected!r}, "
+                      f"got {got!r}" if stage == "read-back" else "")
+            tail = ("rolled back to the prior version" if rolled_back
+                    else "ROLLBACK FAILED — backend left drained")
+            message = (f"canary restore of {app_name!r} backend "
+                       f"{backend} diverged at {stage}{detail}; {tail}")
+        super().__init__(message)
+
+
 class PodError(ReproError):
     """Pod management failure (unknown pod, double attach, ...)."""
 

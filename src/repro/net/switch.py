@@ -10,6 +10,15 @@ ingress) and a single armed drain event forwards every frame that is due
 direction) is forwarded by one event instead of one per frame.
 ``direct=True`` restores per-frame forwarding events (the legacy
 scheduler preset).
+
+Frames from *different* ingress ports can arrive at the same simulated
+instant (symmetric paths, equal frame sizes), and the order their
+delivery callbacks run is the event queue's tie-break — a policy correct
+code must be indifferent to. The drain therefore forwards same-due
+frames in (due, ingress port) order rather than callback order: per
+ingress the link direction is already FIFO, so this canonical order is
+the same under every tie-break, and two tied frames crossing the same
+egress link serialise identically in a fifo and a lifo run.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ class Switch:
         self.forwarding_latency_s = forwarding_latency_s
         self.direct = direct
         self.ports: List[Port] = []
+        self._port_index: Dict[Port, int] = {}
         self.table: Dict[MacAddress, Port] = {}
         self.frames_forwarded = 0
         self.frames_flooded = 0
@@ -43,6 +53,7 @@ class Switch:
 
     def new_port(self) -> Port:
         port = Port(f"{self.name}.p{len(self.ports)}", self._on_frame)
+        self._port_index[port] = len(self.ports)
         self.ports.append(port)
         return port
 
@@ -63,12 +74,20 @@ class Switch:
         self._armed = False
         now = self.sim.now
         pending = self._pending
-        forwarded = 0
+        batch = []
         while pending and pending[0][0] <= now:
-            _due, frame, ingress = pending.popleft()
-            forwarded += 1
-            self._forward(frame, ingress)
-        if forwarded:
+            batch.append(pending.popleft())
+        if batch:
+            if len(batch) > 1:
+                # Same-due frames from different ingress ports were
+                # appended in delivery-callback order — the tie-break's
+                # choice, not ours. Sort into the canonical (due,
+                # ingress) order; the stable sort keeps each ingress
+                # port's own FIFO order intact.
+                index = self._port_index
+                batch.sort(key=lambda entry: (entry[0], index[entry[2]]))
+            for _due, frame, ingress in batch:
+                self._forward(frame, ingress)
             self.drain_batches += 1
         if pending and not self._armed:
             self._armed = True

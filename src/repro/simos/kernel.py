@@ -38,6 +38,7 @@ from repro.simos.process import (
 )
 from repro.simos.program import Program
 from repro.simos.sockets import TcpSocket, UdpSocket
+from repro.tcp.state import SYNCHRONISED_STATES, TcpState
 from repro.simos.syscalls import (
     Exit,
     MSG_DONTWAIT,
@@ -543,6 +544,12 @@ class Node:
             local_ip = as_ip(bind_ip)
             sock.bind(local_ip, self.stack.tcp.allocate_port(local_ip))
         connection = sock.start_connect(as_ip(ip), port)
+        if call.kwargs.get("nonblock"):
+            # O_NONBLOCK connect: the handshake proceeds in the
+            # background; the caller watches it with ``connstat`` (an
+            # event-driven daemon must never stall its whole loop on one
+            # peer's handshake timeout).
+            return None
         try:
             yield connection.established_event
         except Exception as exc:  # refused (RST) or handshake timeout
@@ -550,6 +557,29 @@ class Node:
             raise SyscallError("ECONNREFUSED", str(exc))
         yield from self._stop_gate(proc)
         return None
+
+    def _sys_connstat(self, proc, call) -> Generator:
+        """connstat(fd) -> "connecting" | "established" | "failed".
+
+        The SO_ERROR-after-nonblocking-connect idiom. A socket whose
+        in-flight handshake was torn down (refused, handshake timeout, or
+        a checkpoint/restore that scrubbed the embryo — an unsynchronised
+        connection is restored as merely *bound*) reports "failed"; the
+        caller closes the fd and retries with a fresh socket.
+        """
+        (fd,) = call.args
+        sock = self._tcp_socket(proc, fd)
+        connection = sock.connection
+        if connection is None:
+            return "failed"
+        state = connection.tcb.state
+        if state in SYNCHRONISED_STATES:
+            return "established"
+        if state in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            return "connecting"
+        sock.connection = None  # CLOSED embryo: reusable after re-socket
+        return "failed"
+        yield  # pragma: no cover
 
     def _sys_send(self, proc, call) -> Generator:
         fd, data = call.args

@@ -233,3 +233,38 @@ def test_connection_survives_syn_loss():
     client = stack_a.connect(ip_a, ip_b, 5000)
     sim.run_until_complete(client.established_event, limit=60)
     assert client.state == TcpState.ESTABLISHED
+
+
+def test_syn_during_pod_pause_accepted_after_resume():
+    """A SYN arriving while the server pod is paused behind the agent's
+    drop-all netfilter rule (the §4.1 checkpoint window) is silently
+    blackholed; the client's SYN retransmission must complete the
+    handshake once the pod resumes and the rule is removed."""
+    from repro.apps.kvserver import KvClient, KvServer
+    from repro.cruz.cluster import CruzCluster
+
+    cluster = CruzCluster(1, supervise=False)
+    pod = cluster.create_pod(0, "kv")
+    pod.spawn(KvServer())
+    cluster.run_for(0.05)  # server reaches accept
+
+    # Exactly what Agent._do_checkpoint does: filter, then SIGSTOP.
+    node = cluster.nodes[0]
+    rule_id = node.stack.netfilter.drop_all_for(pod.ip)
+    pod.stop_all()
+
+    client = cluster.coordinator_node.spawn(KvClient(
+        str(pod.ip), [{"op": "put", "key": "k", "value": 1},
+                      {"op": "get", "key": "k"}]))
+    paused_until = cluster.sim.now + 1.2  # past INITIAL_RTO: >=1 SYN rtx
+    cluster.run_for(1.2)
+    assert client.is_alive  # blackholed, not refused
+
+    node.stack.netfilter.remove_rule(rule_id)
+    pod.continue_all()
+    cluster.run_until(lambda: not client.is_alive, limit=30, step=0.05)
+    assert client.exit_code == 0
+    responses = client.program.responses
+    assert [r["ok"] for r in responses] == [True, True]
+    assert responses[1]["value"] == 1
+    assert cluster.sim.now > paused_until
